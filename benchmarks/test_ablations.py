@@ -1,0 +1,206 @@
+"""Ablations for the design decisions the paper argues for.
+
+Not figures from the paper, but the trade-offs behind its choices,
+measured: the two VAD workaround strategies (§3.3), the control-packet
+interval (§2.3), the playout buffering depth (§3.2), and multicast's
+whole reason for existing (§2.2's "we may not want to load our WAN link
+with multiple unicast connections").
+"""
+
+import pytest
+
+from benchmarks.scenarios import FIG_BLOCK_SECONDS, sampled_run
+from repro.audio import AudioEncoding, AudioParams, CD_QUALITY
+from repro.core import EthernetSpeakerSystem
+from repro.metrics import ascii_table
+
+LOW = AudioParams(AudioEncoding.SLINEAR16, 8000, 1)
+
+
+def test_vad_strategy_ablation(benchmark):
+    """kthread vs modified-driver pass-through: same bytes, slightly
+    different kernel overheads (the paper called both 'inelegant')."""
+    def run(strategy):
+        system = EthernetSpeakerSystem()
+        producer = system.add_producer(
+            vad_strategy=strategy, block_seconds=FIG_BLOCK_SECONDS
+        )
+        channel = system.add_channel("cd", params=CD_QUALITY,
+                                     compress="never")
+        system.add_rebroadcaster(producer, channel, real_codec=False)
+        node = system.add_speaker(channel=channel)
+        system.play_synthetic(producer, 30.0, CD_QUALITY)
+        sampler = sampled_run(system, producer.machine, until=31.0)
+        return {
+            "cs_rate": sampler.mean_context_switch_rate(),
+            "producer_busy_pct": sampler.mean_busy_pct(),
+            "blocks_delivered": node.stats.played,
+        }
+
+    results = benchmark.pedantic(
+        lambda: {s: run(s) for s in ("kthread", "modified")},
+        rounds=1, iterations=1,
+    )
+    print()
+    print("ABLATION: VAD strategy (§3.3's two workarounds):")
+    print(ascii_table(
+        ["strategy", "ctx switches/s", "producer busy %", "blocks delivered"],
+        [
+            [s, r["cs_rate"], r["producer_busy_pct"], r["blocks_delivered"]]
+            for s, r in results.items()
+        ],
+    ))
+    kt, mod = results["kthread"], results["modified"]
+    # both deliver the stream completely
+    assert abs(kt["blocks_delivered"] - mod["blocks_delivered"]) <= 2
+    # the modified driver skips the pump thread: fewer context switches
+    assert mod["cs_rate"] < kt["cs_rate"]
+
+
+def test_control_interval_ablation(benchmark):
+    """§2.3's periodic control packets: how often is often enough?
+    Join latency is ~interval/2 + playout; overhead is ~1/interval pkts/s."""
+    def run(interval):
+        system = EthernetSpeakerSystem()
+        producer = system.add_producer()
+        channel = system.add_channel("pa", params=LOW, compress="never")
+        rb = system.add_rebroadcaster(producer, channel,
+                                      control_interval=interval)
+        system.play_synthetic(producer, 25.0, LOW)
+        joiner = system.add_speaker(channel=channel, start=False)
+        system.sim.schedule(10.0, joiner.speaker.start)
+        system.run(until=25.0)
+        return {
+            "join_latency": joiner.stats.first_play_time - 10.0,
+            "control_pkts": rb.stats.control_sent,
+        }
+
+    results = benchmark.pedantic(
+        lambda: {i: run(i) for i in (0.25, 1.0, 4.0)},
+        rounds=1, iterations=1,
+    )
+    rows = [
+        [i, r["join_latency"], r["control_pkts"]]
+        for i, r in sorted(results.items())
+    ]
+    print()
+    print("ABLATION: control packet interval vs join latency:")
+    print(ascii_table(
+        ["interval (s)", "join-to-audio (s)", "control pkts in 25 s"], rows
+    ))
+    # longer interval -> slower joins, fewer packets
+    assert results[0.25]["join_latency"] < results[4.0]["join_latency"]
+    assert results[0.25]["control_pkts"] > results[4.0]["control_pkts"]
+    # a joiner always waits at most ~interval + playout
+    for interval, r in results.items():
+        assert r["join_latency"] < interval + 0.6
+
+
+def test_playout_delay_ablation(benchmark):
+    """The ES input buffering depth: robustness against jitter versus
+    added end-to-end latency (§3.2's buffering trade-off)."""
+    def run(playout):
+        system = EthernetSpeakerSystem(jitter=0.030, seed=17)
+        producer = system.add_producer()
+        channel = system.add_channel("pa", params=LOW, compress="never")
+        system.add_rebroadcaster(producer, channel, control_interval=0.5)
+        nodes = [
+            system.add_speaker(channel=channel, playout_delay=playout)
+            for _ in range(3)
+        ]
+        system.play_synthetic(producer, 20.0, LOW)
+        system.run(until=25.0)
+        dropped = sum(n.stats.late_dropped for n in nodes)
+        played = sum(n.stats.played for n in nodes)
+        return {
+            "drop_fraction": dropped / max(1, dropped + played),
+            "latency": playout,
+        }
+
+    results = benchmark.pedantic(
+        lambda: {p: run(p) for p in (0.005, 0.050, 0.400)},
+        rounds=1, iterations=1,
+    )
+    rows = [
+        [p * 1000, r["drop_fraction"] * 100]
+        for p, r in sorted(results.items())
+    ]
+    print()
+    print("ABLATION: playout delay vs late drops (30 ms network jitter):")
+    print(ascii_table(["playout (ms)", "late-dropped %"], rows))
+    # shallow buffering drops audibly under heavy jitter; deep is clean
+    assert results[0.005]["drop_fraction"] > 0.005
+    assert results[0.400]["drop_fraction"] == 0.0
+    fracs = [results[p]["drop_fraction"] for p in sorted(results)]
+    assert all(b <= a for a, b in zip(fracs, fracs[1:]))
+
+
+def test_multicast_vs_unicast_ablation(benchmark):
+    """Why multicast (§2.2): N listeners for the price of one."""
+    def run(n_speakers, unicast):
+        system = EthernetSpeakerSystem()
+        producer = system.add_producer()
+        channel = system.add_channel("pa", params=LOW, compress="never")
+        system.add_rebroadcaster(producer, channel)
+        nodes = [system.add_speaker(channel=channel)
+                 for _ in range(n_speakers)]
+        if unicast:
+            # simulate per-listener unicast: a tap re-sends every data
+            # frame once per extra listener
+            extra = n_speakers - 1
+            sock = producer.machine.net.socket()
+
+            def duplicate(dgram):
+                if dgram.dst_port == channel.port and extra > 0:
+                    for i in range(extra):
+                        sock.sendto(dgram.payload,
+                                    (nodes[i + 1].machine.net.ip, 9999))
+
+            system.lan.add_tap(duplicate)
+        system.play_synthetic(producer, 10.0, LOW)
+        system.run(until=12.0)
+        return system.monitor.total_wire_bytes
+
+    def run_all():
+        return {
+            ("multicast", 8): run(8, unicast=False),
+            ("unicast", 8): run(8, unicast=True),
+            ("multicast", 1): run(1, unicast=False),
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print()
+    print("ABLATION: multicast vs unicast delivery, wire bytes for 10 s:")
+    print(ascii_table(
+        ["delivery", "speakers", "wire MB"],
+        [[mode, n, b / 1e6] for (mode, n), b in results.items()],
+    ))
+    # multicast: 8 speakers cost the same wire bytes as 1
+    assert results[("multicast", 8)] == pytest.approx(
+        results[("multicast", 1)], rel=0.02
+    )
+    # unicast: ~8x the traffic
+    assert results[("unicast", 8)] > 6 * results[("multicast", 8)]
+
+
+def test_fleet_scale_skew(benchmark):
+    """Scale check: 32 speakers, one stream — skew still inaudible and
+    bandwidth unchanged (the 'large scale public address' goal, §1)."""
+    def run():
+        system = EthernetSpeakerSystem(jitter=0.003, seed=23)
+        producer = system.add_producer()
+        channel = system.add_channel("pa", params=LOW, compress="never")
+        system.add_rebroadcaster(producer, channel, control_interval=0.5)
+        nodes = [system.add_speaker(channel=channel) for _ in range(32)]
+        system.play_synthetic(producer, 10.0, LOW)
+        system.run(until=14.0)
+        return system, nodes
+
+    system, nodes = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = system.skew_report(nodes)
+    print()
+    print(f"SCALE: 32 speakers, max skew {report['max_skew']*1000:.2f} ms "
+          f"over {report['positions']} positions; "
+          f"wire {system.monitor.total_wire_bytes/1e6:.2f} MB")
+    assert all(n.stats.played > 0 for n in nodes)
+    assert report["max_skew"] < 0.020

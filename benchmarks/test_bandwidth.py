@@ -1,0 +1,133 @@
+"""BW13 — §2.2: "this created significant network overhead (around 1.3Mbps
+for CD-quality audio).  On a fast Ethernet this was not a problem, but on
+legacy 10Mbps or wireless links, the overhead was unacceptable.  We,
+therefore, decided to compress the audio stream."
+
+Reproduced: (a) one raw CD stream costs ~1.41 Mbit/s of payload
+(1.35 Mibit/s — the paper's "around 1.3"); (b) eight raw streams overload
+a 10 Mbps segment and speakers lose audio, while eight compressed streams
+fit comfortably.
+"""
+
+import pytest
+
+from repro.audio import CD_QUALITY
+from repro.core import EthernetSpeakerSystem
+from repro.kernel.vad import VadPair
+from repro.metrics import ascii_table
+
+
+def run_single_stream_bandwidth():
+    system = EthernetSpeakerSystem(bandwidth_bps=100e6)
+    producer = system.add_producer()
+    channel = system.add_channel("cd", params=CD_QUALITY, compress="never")
+    system.add_rebroadcaster(producer, channel, real_codec=False)
+    system.play_synthetic(producer, 20.0, CD_QUALITY)
+    system.run(until=20.0)
+    stream_seconds = system.rebroadcasters[0].limiter.stream_pos
+    payload_mbps = (
+        system.monitor.total_payload_bytes * 8 / stream_seconds / 1e6
+    )
+    wire_mbps = system.monitor.total_wire_bytes * 8 / stream_seconds / 1e6
+    return payload_mbps, wire_mbps
+
+
+def test_raw_cd_stream_is_about_1_3_mbps(benchmark):
+    payload_mbps, wire_mbps = benchmark.pedantic(
+        run_single_stream_bandwidth, rounds=1, iterations=1
+    )
+    mibps = payload_mbps * 1e6 / (1 << 20)
+    print()
+    print("BW13 paper-vs-measured (one raw CD-quality stereo stream):")
+    print(ascii_table(
+        ["quantity", "paper", "measured"],
+        [
+            ["payload rate (Mbit/s)", "1.41 (PCM arithmetic)", payload_mbps],
+            ["payload rate (Mibit/s)", "'around 1.3Mbps'", mibps],
+            ["on-wire rate w/ headers (Mbit/s)", "-", wire_mbps],
+        ],
+    ))
+    assert payload_mbps == pytest.approx(1.41, rel=0.03)
+    assert 1.25 < mibps < 1.45
+    assert wire_mbps > payload_mbps
+
+
+def run_saturation(n_streams: int, compress: str, bandwidth: float):
+    system = EthernetSpeakerSystem(bandwidth_bps=bandwidth)
+    producer = system.add_producer()
+    nodes = []
+    for i in range(n_streams):
+        if i == 0:
+            slave, master = "/dev/vads", "/dev/vadm"
+        else:
+            slave, master = f"/dev/vads{i}", f"/dev/vadm{i}"
+            VadPair(producer.machine, slave_path=slave, master_path=master)
+        channel = system.add_channel(
+            f"s{i}", params=CD_QUALITY, compress=compress
+        )
+        system.add_rebroadcaster(
+            producer, channel, master_path=master, real_codec=False
+        )
+        nodes.append(system.add_speaker(channel=channel))
+        system.play_synthetic(producer, 15.0, CD_QUALITY, slave_path=slave)
+    system.run(until=25.0)
+    # a saturated segment hurts twice: frames drop at the backlog limit,
+    # and queueing delay makes surviving packets miss their deadlines
+    sent = sum(rb.stats.data_sent for rb in system.rebroadcasters)
+    played = sum(n.stats.played for n in nodes)
+    return {
+        "offered_mbps": system.monitor.total_wire_bytes * 8 / 15.0 / 1e6,
+        "loss_fraction": 1.0 - played / max(1, sent),
+        "wire_drops": system.lan.stats.frames_dropped,
+    }
+
+
+def test_eight_raw_streams_overload_legacy_ethernet(benchmark):
+    def run_both():
+        raw = run_saturation(8, "never", 10e6)
+        compressed = run_saturation(8, "always", 10e6)
+        return raw, compressed
+
+    raw, compressed = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print()
+    print("BW13 on a legacy 10 Mbps segment, 8 CD streams:")
+    print(ascii_table(
+        ["mode", "offered Mbit/s", "speaker loss fraction", "wire drops"],
+        [
+            ["raw PCM", raw["offered_mbps"], raw["loss_fraction"],
+             raw["wire_drops"]],
+            ["VorbisLike q=10", compressed["offered_mbps"],
+             compressed["loss_fraction"], compressed["wire_drops"]],
+        ],
+    ))
+    # raw: 8 x 1.47 > 10 Mbps -> drops and audible loss ("unacceptable")
+    assert raw["offered_mbps"] > 10.0
+    assert raw["wire_drops"] > 0
+    assert raw["loss_fraction"] > 0.20
+    # compressed: fits with room to spare
+    assert compressed["offered_mbps"] < 6.0
+    assert compressed["wire_drops"] == 0
+    assert compressed["loss_fraction"] < 0.01
+
+
+def test_compression_ratio_on_the_wire(benchmark):
+    def run_both():
+        results = {}
+        for compress in ("never", "always"):
+            system = EthernetSpeakerSystem()
+            producer = system.add_producer()
+            channel = system.add_channel(
+                "cd", params=CD_QUALITY, compress=compress
+            )
+            system.add_rebroadcaster(producer, channel, real_codec=False)
+            system.play_synthetic(producer, 15.0, CD_QUALITY)
+            system.run(until=16.0)
+            results[compress] = system.monitor.total_payload_bytes
+        return results
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    ratio = results["always"] / results["never"]
+    print()
+    print(f"wire payload, compressed vs raw: {ratio:.2f} "
+          f"(VorbisLike q=10 on CD stereo)")
+    assert 0.15 < ratio < 0.45  # "excellent compression" at max quality

@@ -1,0 +1,129 @@
+"""BOOT — §2.3/§2.4: the deployment-scale claims.
+
+* "having machines mount their root and swap filesystems over the network
+  would lead to scalability problems" -> the ramdisk design: one TFTP
+  transfer per boot, nothing mounted afterwards;
+* "the Rebroadcaster does not need to maintain any state for the Ethernet
+  Speakers that listen in" -> time-to-first-audio for a joining speaker is
+  independent of how many speakers already listen, and the producer does
+  identical work for 1 or 24 speakers;
+* boot time scales with LAN bandwidth and fleet size (everyone shares the
+  segment).
+"""
+
+import pytest
+
+from repro.audio import AudioEncoding, AudioParams
+from repro.core import EthernetSpeakerSystem
+from repro.kernel import Machine
+from repro.metrics import ascii_table
+from repro.platform import (
+    BootServer,
+    DhcpServer,
+    EON_4000,
+    build_ramdisk,
+    make_machine,
+    netboot,
+)
+from repro.sim import Process
+
+PARAMS = AudioParams(AudioEncoding.SLINEAR16, 8000, 1)
+
+
+def run_fleet_boot(n_speakers: int, bandwidth: float = 100e6):
+    from repro.sim import Simulator
+    from repro.net import EthernetSegment
+
+    sim = Simulator()
+    lan = EthernetSegment(sim, bandwidth_bps=bandwidth, latency=50e-6,
+                          max_backlog=2000)
+    server = Machine(sim, "bootsrv", cpu_freq_hz=1e9)
+    server.attach_network(lan, "10.1.9.1")
+    key = b"host-key"
+    image = build_ramdisk("1.0", boot_server_key=key)
+    BootServer(server, image, key,
+               default_config={"/etc/es.conf": b"channel=pa\n"}).start()
+    DhcpServer(server).start()
+    procs = []
+    for i in range(n_speakers):
+        es = make_machine(sim, f"es{i}", EON_4000)
+        es.attach_network(lan, "0.0.0.0")
+        procs.append(Process.spawn(sim, netboot(es), f"boot{i}"))
+    sim.run()
+    times = [p.result.boot_seconds for p in procs]
+    assert all(p.result.etc["/etc/es.conf"] == b"channel=pa\n" for p in procs)
+    return {
+        "mean_boot": sum(times) / len(times),
+        "max_boot": max(times),
+        "image_mb": image.size_bytes / 1e6,
+    }
+
+
+def test_fleet_boot_scales_with_size_and_bandwidth(benchmark):
+    def run_grid():
+        return {
+            (n, bw): run_fleet_boot(n, bw)
+            for n in (1, 8)
+            for bw in (10e6, 100e6)
+        }
+
+    grid = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    rows = [
+        [n, f"{bw/1e6:.0f} Mbps", r["mean_boot"], r["max_boot"]]
+        for (n, bw), r in sorted(grid.items())
+    ]
+    print()
+    print("BOOT: PXE fleet boot times (2 MB ramdisk image each):")
+    print(ascii_table(
+        ["speakers", "LAN", "mean boot (s)", "max boot (s)"], rows
+    ))
+    # the whole fleet boots unattended in seconds-to-a-minute
+    assert grid[(8, 100e6)]["max_boot"] < 10.0
+    # contention: 8 concurrent transfers on the same segment are slower
+    assert grid[(8, 100e6)]["max_boot"] > grid[(1, 100e6)]["max_boot"]
+    # a legacy segment is proportionally slower
+    assert grid[(1, 10e6)]["mean_boot"] > 3 * grid[(1, 100e6)]["mean_boot"]
+
+
+def run_join_time(n_existing: int):
+    system = EthernetSpeakerSystem()
+    producer = system.add_producer()
+    channel = system.add_channel("pa", params=PARAMS, compress="never")
+    system.add_rebroadcaster(producer, channel, control_interval=0.5)
+    for _ in range(n_existing):
+        system.add_speaker(channel=channel)
+    system.play_synthetic(producer, 30.0, PARAMS)
+    joiner = system.add_speaker(channel=channel, start=False)
+    join_at = 10.0
+    system.sim.schedule(join_at, joiner.speaker.start)
+    system.run(until=20.0)
+    rb = system.rebroadcasters[0]
+    return {
+        "time_to_first_audio": joiner.stats.first_play_time - join_at,
+        "producer_sent": rb.stats.data_sent + rb.stats.control_sent,
+    }
+
+
+def test_join_time_independent_of_fleet_size(benchmark):
+    def run_three():
+        return {n: run_join_time(n) for n in (1, 8, 24)}
+
+    results = benchmark.pedantic(run_three, rounds=1, iterations=1)
+    rows = [
+        [n, r["time_to_first_audio"], r["producer_sent"]]
+        for n, r in sorted(results.items())
+    ]
+    print()
+    print("BOOT/stateless-join: time-to-first-audio for a speaker joining "
+          "mid-stream vs existing fleet size:")
+    print(ascii_table(
+        ["existing speakers", "join-to-audio (s)", "producer packets"], rows
+    ))
+    times = [r["time_to_first_audio"] for r in results.values()]
+    # §2.3: no per-speaker state, no join protocol: first audio within
+    # one control interval + playout delay, regardless of fleet size
+    assert max(times) < 1.2
+    assert max(times) - min(times) < 0.050
+    # the producer did exactly the same work in all three runs
+    sent = {r["producer_sent"] for r in results.values()}
+    assert len(sent) == 1

@@ -1,0 +1,151 @@
+"""BUF — §3.4: "The slow speed of the processor on the EON 4000 computer,
+revealed a problem that was not observed during our testing on faster
+machines; namely the need to keep the pipeline full.  If we use very
+large buffers ... time delays add up, resulting in skipped audio.  By
+reducing the buffer size, each of the stages on the ES finishes faster
+and the audio stream is processed without problems."
+
+Reproduced as a buffer-size sweep of a live compressed CD stream played
+on (a) the 233 MHz EON 4000 and (b) a 1 GHz workstation, with a fixed
+playout budget.  Expected shape: the EON skips at large buffers where the
+workstation stays clean, and shrinking the buffer fixes the EON.
+"""
+
+import pytest
+
+from repro.audio import CD_QUALITY
+from repro.core import EthernetSpeakerSystem
+from repro.metrics import ascii_table
+from repro.platform import EON_4000, FAST_WORKSTATION
+
+#: fixed playout budget: the producer's encode time and the speaker's
+#: decode time both scale with the buffer size, and together they must
+#: fit inside this budget (control packets carry no such delay, so the
+#: wall-clock anchor does not absorb it).  60 ms puts the EON's failure
+#: threshold near 190 ms buffers and the workstation's near 400 ms.
+PLAYOUT = 0.060
+EPSILON = 0.010
+
+
+def run_buffer(block_seconds: float, cpu_freq_hz: float):
+    system = EthernetSpeakerSystem()
+    producer = system.add_producer(block_seconds=block_seconds)
+    channel = system.add_channel(
+        "live", params=CD_QUALITY, compress="always", quality=10
+    )
+    system.add_rebroadcaster(producer, channel, real_codec=False)
+    node = system.add_speaker(
+        channel=channel,
+        cpu_freq_hz=cpu_freq_hz,
+        block_seconds=block_seconds,
+        playout_delay=PLAYOUT,
+        epsilon=EPSILON,
+    )
+    # a live source (internet radio): each block only exists once its
+    # last sample has been produced
+    system.play_synthetic(producer, 20.0, CD_QUALITY,
+                          chunk_seconds=block_seconds, source_paced=True)
+    system.run(until=25.0)
+    skipped = node.stats.late_dropped
+    return {
+        "skipped_blocks": skipped,
+        "played": node.stats.played,
+        "audible_gaps": node.sink.silence_events,
+        "skip_fraction": skipped / max(1, skipped + node.stats.played),
+    }
+
+
+def test_buffer_size_sweep_on_both_machines(benchmark):
+    sizes = (0.065, 0.15, 0.25, 0.35)
+
+    def run_all():
+        table = {}
+        for block in sizes:
+            table[block] = {
+                "eon": run_buffer(block, EON_4000.cpu_freq_hz),
+                "fast": run_buffer(block, FAST_WORKSTATION.cpu_freq_hz),
+            }
+        return table
+
+    table = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    for block in sizes:
+        eon = table[block]["eon"]
+        fast = table[block]["fast"]
+        rows.append([
+            int(block * 1000),
+            eon["skipped_blocks"],
+            f"{eon['skip_fraction']*100:.1f}%",
+            fast["skipped_blocks"],
+            f"{fast['skip_fraction']*100:.1f}%",
+        ])
+    print()
+    print("BUF paper-vs-measured: skipped audio vs buffer size "
+          f"(playout budget {PLAYOUT*1000:.0f} ms):")
+    print(ascii_table(
+        ["buffer (ms)", "EON skips", "EON skip %", "workstation skips",
+         "workstation skip %"],
+        rows,
+    ))
+    # the paper's observations, as assertions:
+    # 1. large buffers skip on the EON 4000...
+    assert table[0.35]["eon"]["skip_fraction"] > 0.5
+    # 2. ...but were "not observed during our testing on faster machines"
+    assert table[0.35]["fast"]["skip_fraction"] < 0.01
+    # 3. "by reducing the buffer size ... the audio stream is processed
+    #    without problems" — the small buffer fixes the EON
+    assert table[0.065]["eon"]["skip_fraction"] < 0.01
+    assert table[0.065]["eon"]["audible_gaps"] <= 3
+    # 4. monotone degradation with buffer size on the EON (block-count
+    #    quantisation allows a little noise at the top of the curve)
+    eon_skips = [table[b]["eon"]["skip_fraction"] for b in sizes]
+    assert all(b >= a - 0.05 for a, b in zip(eon_skips, eon_skips[1:]))
+
+
+def test_decode_is_the_machine_dependent_term(benchmark):
+    """Ablation: with compression off, the RAW decode is nearly free and
+    the EON handles large buffers too — confirming that the §3.4 effect
+    is decompression time, not the network."""
+    def run_pair():
+        return (
+            run_buffer_raw(0.35, EON_4000.cpu_freq_hz),
+            run_buffer(0.35, EON_4000.cpu_freq_hz),
+        )
+
+    raw, compressed = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    print()
+    print("BUF ablation at 350 ms buffers on the EON 4000:")
+    print(ascii_table(
+        ["stream", "skipped", "skip %"],
+        [
+            ["raw PCM", raw["skipped_blocks"],
+             f"{raw['skip_fraction']*100:.1f}%"],
+            ["VorbisLike q=10", compressed["skipped_blocks"],
+             f"{compressed['skip_fraction']*100:.1f}%"],
+        ],
+    ))
+    assert raw["skip_fraction"] < compressed["skip_fraction"]
+
+
+def run_buffer_raw(block_seconds: float, cpu_freq_hz: float):
+    system = EthernetSpeakerSystem()
+    producer = system.add_producer(block_seconds=block_seconds)
+    channel = system.add_channel("live", params=CD_QUALITY, compress="never")
+    system.add_rebroadcaster(producer, channel, real_codec=False)
+    node = system.add_speaker(
+        channel=channel,
+        cpu_freq_hz=cpu_freq_hz,
+        block_seconds=block_seconds,
+        playout_delay=PLAYOUT,
+        epsilon=EPSILON,
+    )
+    system.play_synthetic(producer, 20.0, CD_QUALITY,
+                          chunk_seconds=block_seconds, source_paced=True)
+    system.run(until=25.0)
+    skipped = node.stats.late_dropped
+    return {
+        "skipped_blocks": skipped,
+        "played": node.stats.played,
+        "audible_gaps": node.sink.silence_events,
+        "skip_fraction": skipped / max(1, skipped + node.stats.played),
+    }

@@ -1,0 +1,128 @@
+"""LOWRATE — §2.2: "Audio channels with low bit-rates are still sent
+uncompressed because the use of Ogg Vorbis introduces latency and
+increases the workload on the sender.  The selective use of compression
+can be enhanced by allowing the rebroadcast application to select the
+Ogg Vorbis compression rate."
+
+Reproduced as the policy's cost/benefit table across stream types: what
+compression buys (bandwidth) and costs (producer CPU, pipeline latency)
+for CD-quality stereo vs 8 kHz telephone-quality mono, plus the
+quality-index knob trading CPU against bitrate on high-rate channels.
+"""
+
+import pytest
+
+from repro.audio import CD_QUALITY, PHONE_QUALITY
+from repro.core import EthernetSpeakerSystem
+from repro.metrics import ascii_table
+
+
+def run_channel(params, compress, quality=10, duration=20.0):
+    system = EthernetSpeakerSystem()
+    producer = system.add_producer()
+    channel = system.add_channel(
+        "ch", params=params, compress=compress, quality=quality
+    )
+    system.add_rebroadcaster(producer, channel, real_codec=False)
+    node = system.add_speaker(channel=channel)
+    system.play_synthetic(producer, duration, params)
+    system.run(until=duration + 5.0)
+    cpu_pct = (
+        producer.machine.cpu.stats.domain_seconds["user"]
+        / duration
+        * 100.0
+    )
+    kbps = system.monitor.total_payload_bytes * 8 / duration / 1e3
+    return {
+        "kbps": kbps,
+        "producer_user_pct": cpu_pct,
+        "speaker_ok": node.stats.played > 0 and node.stats.late_dropped == 0,
+    }
+
+
+def test_selective_compression_policy(benchmark):
+    def run_all():
+        return {
+            ("CD stereo", "raw"): run_channel(CD_QUALITY, "never"),
+            ("CD stereo", "compressed"): run_channel(CD_QUALITY, "always"),
+            ("phone mono", "raw"): run_channel(PHONE_QUALITY, "never"),
+            ("phone mono", "compressed"): run_channel(
+                PHONE_QUALITY, "always"
+            ),
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [
+        [stream, mode, r["kbps"], r["producer_user_pct"], r["speaker_ok"]]
+        for (stream, mode), r in results.items()
+    ]
+    print()
+    print("LOWRATE: what compression buys and costs per stream type:")
+    print(ascii_table(
+        ["stream", "mode", "payload kbit/s", "producer user CPU %", "clean"],
+        rows,
+    ))
+    cd_raw = results[("CD stereo", "raw")]
+    cd_cmp = results[("CD stereo", "compressed")]
+    ph_raw = results[("phone mono", "raw")]
+    ph_cmp = results[("phone mono", "compressed")]
+    # high-rate channel: compression saves most of the bandwidth...
+    assert cd_cmp["kbps"] < 0.4 * cd_raw["kbps"]
+    # ...at a significant sender cost
+    assert cd_cmp["producer_user_pct"] > 5 * max(
+        0.1, cd_raw["producer_user_pct"]
+    )
+    # low-rate channel: barely any bandwidth to win (64 kbit/s raw), so
+    # the CPU spent compressing it buys almost nothing in absolute terms
+    assert ph_raw["kbps"] < 70.0
+    saved_phone = ph_raw["kbps"] - ph_cmp["kbps"]
+    saved_cd = cd_raw["kbps"] - cd_cmp["kbps"]
+    assert saved_phone < 0.07 * saved_cd
+
+
+def test_auto_policy_picks_per_stream(benchmark):
+    def run_auto():
+        return (
+            run_channel(CD_QUALITY, "auto"),
+            run_channel(PHONE_QUALITY, "auto"),
+        )
+
+    cd, phone = benchmark.pedantic(run_auto, rounds=1, iterations=1)
+    print()
+    print("LOWRATE auto policy (threshold 256 kbit/s):")
+    print(ascii_table(
+        ["stream", "payload kbit/s", "producer user CPU %"],
+        [
+            ["CD stereo (compressed)", cd["kbps"], cd["producer_user_pct"]],
+            ["phone mono (left raw)", phone["kbps"],
+             phone["producer_user_pct"]],
+        ],
+    ))
+    assert cd["kbps"] < 600  # compressed
+    assert phone["kbps"] > 60  # left raw
+    assert phone["producer_user_pct"] < 1.0
+
+
+def test_quality_index_trades_cpu_for_bitrate(benchmark):
+    """The §2.2 enhancement: more aggressive compression on high-rate
+    channels where quality matters less."""
+    def run_sweep():
+        return {
+            q: run_channel(CD_QUALITY, "always", quality=q, duration=12.0)
+            for q in (2, 6, 10)
+        }
+
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = [
+        [q, r["kbps"], r["producer_user_pct"]]
+        for q, r in sorted(results.items())
+    ]
+    print()
+    print("LOWRATE quality-index sweep on a CD stereo channel:")
+    print(ascii_table(
+        ["quality index", "payload kbit/s", "producer user CPU %"], rows
+    ))
+    kbps = [results[q]["kbps"] for q in (2, 6, 10)]
+    cpu = [results[q]["producer_user_pct"] for q in (2, 6, 10)]
+    assert kbps[0] < kbps[1] < kbps[2]
+    assert cpu[0] < cpu[2]

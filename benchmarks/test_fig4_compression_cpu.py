@@ -1,0 +1,64 @@
+"""FIG4 — Figure 4: "Compression impact on CPU load, as we increase the
+number of compressed streams transmitted by the local rebroadcaster.
+Each stream is a separate CD-quality stereo audio stream."
+
+Paper series: userland CPU % vs time over 60 s, four streams vs eight
+streams.  Expected shape: eight streams ~2x the CPU of four, both as
+roughly flat bands; eight approaching saturation.
+"""
+
+import pytest
+
+from benchmarks.scenarios import producer_with_streams, sampled_run
+from repro.metrics import ascii_table, series_summary
+
+
+def run_fig4(n_streams: int):
+    system, producer = producer_with_streams(n_streams)
+    sampler = sampled_run(system, producer.machine, until=61.0)
+    series = [s.user_pct for s in sampler.samples]
+    return series
+
+
+@pytest.mark.parametrize("n_streams", [4, 8])
+def test_fig4_userland_cpu_usage(benchmark, n_streams):
+    series = benchmark.pedantic(run_fig4, args=(n_streams,), rounds=1,
+                                iterations=1)
+    summary = series_summary(series)
+    print()
+    print(f"FIG4 / {n_streams} compressed CD-quality streams "
+          f"(userland CPU %, 60 one-second vmstat samples):")
+    print(ascii_table(
+        ["series", "min %", "mean %", "max %"],
+        [[f"{n_streams} streams", summary["min"], summary["mean"],
+          summary["max"]]],
+    ))
+    print("time series:",
+          " ".join(f"{v:.0f}" for v in series[:30]), "...")
+    # shape: a sustained, roughly flat band
+    assert summary["mean"] > 10.0
+    assert summary["max"] <= 100.0
+
+
+def test_fig4_eight_streams_costs_double_of_four(benchmark):
+    def run_both():
+        return (
+            series_summary(run_fig4(4))["mean"],
+            series_summary(run_fig4(8))["mean"],
+        )
+
+    four, eight = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print()
+    print("FIG4 paper-vs-measured:")
+    print(ascii_table(
+        ["series", "paper (visual)", "measured mean user %"],
+        [
+            ["four streams", "~45-60 %", four],
+            ["eight streams", "~90-110 % (clipped)", eight],
+        ],
+    ))
+    # who wins / by what factor: CPU scales with stream count, eight
+    # approaches saturation
+    assert 1.6 < eight / four < 2.4
+    assert eight > 75.0
+    assert four < 70.0

@@ -1,0 +1,71 @@
+"""FIG5 — Figure 5: "Comparison of context switch rate between a streaming
+application contained with the VAD driver inside the kernel and a
+user-level application.  Data gathered by vmstat over a sixty second
+period at one second intervals."
+
+Paper means: Unloaded Machine 4.2, Kernel Threaded VAD 28.716,
+VAD (user-level) 37.2 switches/interval.  Expected shape:
+user-level > kernel-threaded >> unloaded, user/kernel ratio ~1.3.
+"""
+
+import pytest
+
+from benchmarks.scenarios import (
+    FIG_BLOCK_SECONDS,
+    kernel_streaming_consumer,
+    sampled_run,
+)
+from repro.audio import CD_QUALITY
+from repro.core import EthernetSpeakerSystem
+from repro.metrics import ascii_table
+
+PAPER_MEANS = {"unloaded": 4.2, "kernel": 28.716, "user": 37.2}
+
+
+def run_fig5(mode: str) -> float:
+    system = EthernetSpeakerSystem()
+    producer = system.add_producer(block_seconds=FIG_BLOCK_SECONDS)
+    channel = system.add_channel("cd", params=CD_QUALITY, compress="never")
+    if mode == "kernel":
+        kernel_streaming_consumer(system, producer, channel)
+        system.play_synthetic(producer, 70.0, CD_QUALITY)
+    elif mode == "user":
+        system.add_rebroadcaster(producer, channel, real_codec=False)
+        system.play_synthetic(producer, 70.0, CD_QUALITY)
+    sampler = sampled_run(system, producer.machine, until=61.0)
+    return sampler.mean_context_switch_rate()
+
+
+@pytest.mark.parametrize("mode", ["unloaded", "kernel", "user"])
+def test_fig5_context_switch_rate(benchmark, mode):
+    mean = benchmark.pedantic(run_fig5, args=(mode,), rounds=1, iterations=1)
+    print()
+    print(ascii_table(
+        ["configuration", "paper mean", "measured mean"],
+        [[mode, PAPER_MEANS[mode], mean]],
+    ))
+    # within 35 % of the paper's reported mean
+    assert mean == pytest.approx(PAPER_MEANS[mode], rel=0.35)
+
+
+def test_fig5_ordering_and_ratios(benchmark):
+    def run_all():
+        return {m: run_fig5(m) for m in ("unloaded", "kernel", "user")}
+
+    means = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print()
+    print("FIG5 paper-vs-measured (context switches per 1 s interval):")
+    print(ascii_table(
+        ["configuration", "paper mean", "measured mean"],
+        [
+            ["Unloaded Machine", 4.2, means["unloaded"]],
+            ["Kernel Threaded VAD", 28.716, means["kernel"]],
+            ["VAD (user-level)", 37.2, means["user"]],
+        ],
+    ))
+    assert means["unloaded"] < means["kernel"] < means["user"]
+    # the paper's user/kernel ratio is 1.30; require the same ballpark
+    ratio = means["user"] / means["kernel"]
+    assert 1.1 < ratio < 1.7
+    # both streaming modes dwarf the unloaded baseline
+    assert means["kernel"] > 4 * means["unloaded"]

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Authenticated streams under attack (§5.1).
+
+The channel is signed with HORS few-time signatures (Reyzin & Reyzin —
+fast signing and verifying), the stream key certified by a CA whose digest
+each speaker pins in NVRAM.  Meanwhile an injector forges data packets
+and a flooder blasts garbage at the group.  The speaker plays the honest
+stream untouched, and we compare what the same flood would cost under
+per-packet conventional public-key signatures.
+
+Run:  python examples/secure_streaming.py
+"""
+
+from repro.audio import AudioEncoding, AudioParams, sine
+from repro.core import EthernetSpeakerSystem
+from repro.metrics import ascii_table
+from repro.platform import Nvram
+from repro.security import (
+    CertificationAuthority,
+    GarbageFlooder,
+    HmacAuthenticator,
+    HorsAuthenticator,
+    Injector,
+    SimulatedPkiAuthenticator,
+)
+from repro.security.keys import validate_certificate
+
+PARAMS = AudioParams(AudioEncoding.SLINEAR16, 22050, 1)
+
+
+def run_attack_scenario(auth_factory, label):
+    system = EthernetSpeakerSystem(seed=5)
+    producer = system.add_producer()
+    channel = system.add_channel("secure-pa", params=PARAMS, compress="never")
+    auth = auth_factory(channel)
+    system.add_rebroadcaster(producer, channel, authenticator=auth)
+    node = system.add_speaker(channel=channel, verifier=auth)
+
+    evil = system.add_producer(name="evil", housekeeping=False)
+    Injector(evil.machine, channel, rate_pps=40).start()
+    GarbageFlooder(evil.machine, channel.group_ip, channel.port,
+                   rate_pps=400).start()
+
+    system.play_pcm(producer, sine(440, 5.0, 22050), PARAMS)
+    system.run(until=8.0)
+    busy = node.machine.cpu.stats.busy_seconds / system.sim.now * 100
+    return [
+        label,
+        node.stats.played,
+        node.stats.auth_rejected + node.stats.garbage_rx,
+        f"{node.sink.audio_seconds:.1f}s",
+        f"{busy:.1f}%",
+    ]
+
+
+def main() -> None:
+    # the CA trust bootstrap a speaker performs at boot
+    ca = CertificationAuthority(seed=b"campus-ca")
+    nvram = Nvram()
+    nvram.store("ca_digest", ca.public_key_digest())
+    hors = HorsAuthenticator(ca, channel_id=1, seed=b"pa-stream")
+    ok = validate_certificate(hors.certificate, nvram.load("ca_digest"))
+    print(f"stream key certificate checks against the NVRAM-pinned CA "
+          f"digest: {ok}")
+    print()
+
+    rows = [
+        run_attack_scenario(
+            lambda ch: HorsAuthenticator(ca, ch.channel_id, b"pa-stream"),
+            "HORS signatures",
+        ),
+        run_attack_scenario(
+            lambda ch: HmacAuthenticator(b"shared-key-32-bytes-long-enough!"),
+            "HMAC-SHA256",
+        ),
+        run_attack_scenario(
+            lambda ch: SimulatedPkiAuthenticator(b"pki-key"),
+            "per-packet PKI (baseline)",
+        ),
+    ]
+    print("Speaker under injection + 400 pps garbage flood (233 MHz ES):")
+    print(ascii_table(
+        ["scheme", "played", "rejected", "audio out", "ES CPU"], rows
+    ))
+    print()
+    print("The PKI row is the §5.1 infeasibility argument: verification of "
+          "garbage eats the speaker's CPU, while HORS/HMAC verify floods "
+          "for a few hashes each and the stream plays on.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The execution environment has no network and no `wheel` package, so
+PEP 517 editable installs (`pip install -e .`) cannot build the editable
+wheel.  `python setup.py develop` performs the equivalent egg-link editable
+install entirely offline.  Configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""Reproduction of "The Ethernet Speaker System" (Turner & Prevelakis,
+FREENIX Track, USENIX Annual Technical Conference 2005).
+
+The public entry point for most uses is
+:class:`repro.core.EthernetSpeakerSystem`; the subpackages follow the
+system's layering:
+
+========================  ====================================================
+``repro.sim``             discrete-event simulation core (processes, CPUs)
+``repro.kernel``          the simulated kernel: audio drivers, the VAD, mic
+``repro.audio``           PCM formats, signals, analysis
+``repro.codec``           VorbisLike / Mp3Like / ADPCM codecs + cost models
+``repro.net``             Ethernet, multicast, VLANs, MACsec, WAN links
+``repro.core``            protocol, rate limiter, rebroadcaster, speakers
+``repro.apps``            unmodified-application simulacra
+``repro.platform``        hardware profiles, NVRAM, netboot
+``repro.security``        HMAC/HORS authentication, CA, attack models
+``repro.mgmt``            catalog, SNMP MIB, override, auto volume
+``repro.metrics``         vmstat sampler and report helpers
+========================  ====================================================
+
+See DESIGN.md for the paper-to-module map and EXPERIMENTS.md for the
+reproduced results.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,30 @@
+"""Simulated off-the-shelf audio applications.
+
+The whole point of the VAD is that these applications are *unmodified*
+(§2.1): they open what they believe is ``/dev/audio``, configure it with
+ioctls, and write PCM.  Whether the node has real audio hardware or a VAD
+slave behind that path is invisible to them.
+
+* :class:`~repro.apps.mp3player.Mp3PlayerApp` — an mpg123 stand-in that
+  decodes an :class:`~repro.codec.mp3like.Mp3LikeFile` from "disk";
+* :class:`~repro.apps.streamclient.StreamingClientApp` and
+  :class:`~repro.apps.streamclient.WanRadioServer` — a Real-Audio-style
+  client pulling a live stream over a WAN link (Figure 1);
+* :class:`~repro.apps.tone.TonePlayerApp` — a trivial PCM source;
+* :class:`~repro.apps.recorder.TimeShiftRecorder` — the §3.3 bonus use of
+  the VAD: tap the master side to record a stream for later playback.
+"""
+
+from repro.apps.mp3player import Mp3PlayerApp
+from repro.apps.streamclient import StreamingClientApp, WanRadioServer
+from repro.apps.tone import TonePlayerApp
+from repro.apps.recorder import TimeShiftRecorder, replay_recording
+
+__all__ = [
+    "Mp3PlayerApp",
+    "StreamingClientApp",
+    "WanRadioServer",
+    "TonePlayerApp",
+    "TimeShiftRecorder",
+    "replay_recording",
+]

@@ -1,0 +1,117 @@
+"""Time-shifting via the VAD master (§3.3).
+
+"With a virtual audio device configured in a system, any application can
+now have access to uncompressed audio, irrespective of the original format
+... applications may be developed to process the audio stream (e.g.,
+time-shifting Internet radio transmissions)."
+
+:class:`TimeShiftRecorder` reads master records into an in-memory
+recording; :func:`replay_recording` plays it back later through any audio
+device, and the recording can be exported to a WAV file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.audio.encodings import decode_samples
+from repro.audio.params import AudioParams
+from repro.audio.wav import write_wav
+from repro.kernel.audio import AUDIO_DRAIN, AUDIO_SETINFO
+from repro.sim.process import Process
+from repro.sim.resources import QueueClosed
+
+
+@dataclass
+class Recording:
+    """Captured segments: (params at capture time, PCM bytes)."""
+
+    segments: List[Tuple[AudioParams, bytes]] = field(default_factory=list)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(len(d) for _, d in self.segments)
+
+    @property
+    def duration(self) -> float:
+        return sum(p.duration_of(len(d)) for p, d in self.segments)
+
+    def waveform(self) -> np.ndarray:
+        """Mono float rendering of the whole recording."""
+        pieces = [
+            decode_samples(data, params).mean(axis=1)
+            for params, data in self.segments
+            if data
+        ]
+        if not pieces:
+            return np.zeros(0)
+        return np.concatenate(pieces)
+
+    def export_wav(self, path: Union[str, Path]) -> int:
+        """Write the recording as a WAV file (uses the first segment's
+        sample rate; heterogeneous recordings are resample-free appended)."""
+        if not self.segments:
+            raise ValueError("nothing recorded")
+        rate = self.segments[0][0].sample_rate
+        return write_wav(path, self.waveform(), rate)
+
+
+class TimeShiftRecorder:
+    """Tap the VAD master and squirrel the stream away."""
+
+    def __init__(self, machine, master_path: str = "/dev/vadm"):
+        self.machine = machine
+        self.master_path = master_path
+        self.recording = Recording()
+        self._params: Optional[AudioParams] = None
+        self._proc: Optional[Process] = None
+
+    def start(self) -> Process:
+        self._proc = self.machine.spawn(self._run(), name="time-shift")
+        return self._proc
+
+    def stop(self) -> None:
+        if self._proc is not None:
+            self._proc.kill()
+
+    def _run(self):
+        machine = self.machine
+        fd = yield from machine.sys_open(self.master_path)
+        while True:
+            try:
+                record = yield from machine.sys_read(fd, 65536)
+            except QueueClosed:
+                return
+            if record.kind == "config":
+                self._params = record.params
+            elif self._params is not None:
+                self.recording.segments.append(
+                    (self._params, record.payload)
+                )
+
+
+def replay_recording(
+    machine,
+    recording: Recording,
+    device_path: str = "/dev/audio",
+    drain: bool = True,
+) -> Process:
+    """Play a recording back through an audio device (time-shifted)."""
+
+    def app():
+        fd = yield from machine.sys_open(device_path)
+        current = None
+        for params, data in recording.segments:
+            if params != current:
+                yield from machine.sys_ioctl(fd, AUDIO_SETINFO, params)
+                current = params
+            yield from machine.sys_write(fd, data)
+        if drain:
+            yield from machine.sys_ioctl(fd, AUDIO_DRAIN)
+        yield from machine.sys_close(fd)
+
+    return machine.spawn(app(), name="replay")

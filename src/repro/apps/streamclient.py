@@ -1,0 +1,118 @@
+"""A Real-Audio-style pair: WAN radio server + LAN streaming client.
+
+Figure 1's scenario: a server on the public Internet streams to a client
+running on the rebroadcaster machine; the client decodes and writes PCM to
+the VAD; the Ethernet Speakers get it by multicast.  The WAN leg has real
+latency/jitter/loss (:class:`~repro.net.wan.WanLink`); the client hides it
+behind a small jitter buffer, like every streaming player does.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.audio.encodings import encode_samples
+from repro.audio.params import AudioEncoding, AudioParams
+from repro.codec.base import CodecID
+from repro.codec.cost import DEFAULT_COSTS
+from repro.codec.mp3like import Mp3LikeCodec, Mp3LikeFile
+from repro.kernel.audio import AUDIO_SETINFO
+from repro.net.wan import WanLink
+from repro.sim.process import Process, Sleep
+from repro.sim.resources import Queue, QueueClosed
+
+
+class WanRadioServer:
+    """Streams an Mp3Like file over a WAN link in real time."""
+
+    def __init__(self, sim, wan: WanLink, mp3_bytes: bytes,
+                 block_seconds: float = 0.5):
+        self.sim = sim
+        self.wan = wan
+        self.file = Mp3LikeFile.from_bytes(mp3_bytes)
+        self.block_seconds = block_seconds
+        self._client_queue: Optional[Queue] = None
+        self.blocks_sent = 0
+
+    def connect(self, rx_queue: Queue) -> None:
+        """The (single) client registers its delivery queue."""
+        self._client_queue = rx_queue
+
+    def start(self) -> Process:
+        return Process.spawn(self.sim, self._run(), name="wan-radio")
+
+    def _run(self):
+        for block in self.file.blocks:
+            if self._client_queue is not None:
+                queue = self._client_queue
+                self.wan.send(
+                    block, lambda b, q=queue: q.put_nowait(b)
+                )
+                self.blocks_sent += 1
+            yield Sleep(self.block_seconds)  # live source: real-time pacing
+        if self._client_queue is not None:
+            deadline_queue = self._client_queue
+            # let in-flight blocks land before closing
+            yield Sleep(2.0)
+            deadline_queue.close()
+
+
+class StreamingClientApp:
+    """The off-the-shelf internet-radio client on the producer machine."""
+
+    def __init__(
+        self,
+        machine,
+        server: WanRadioServer,
+        device_path: str = "/dev/audio",
+        jitter_buffer_blocks: int = 3,
+        cost_model=None,
+    ):
+        self.machine = machine
+        self.server = server
+        self.device_path = device_path
+        self.jitter_buffer_blocks = jitter_buffer_blocks
+        self.costs = cost_model or DEFAULT_COSTS
+        self.rx_queue = Queue(name="radio-rx")
+        self.blocks_played = 0
+        server.connect(self.rx_queue)
+
+    @property
+    def output_params(self) -> AudioParams:
+        f = self.server.file
+        return AudioParams(
+            AudioEncoding.SLINEAR16, f.sample_rate, f.channels
+        )
+
+    def start(self) -> Process:
+        return self.machine.spawn(self._run(), name="radio-client")
+
+    def _run(self):
+        machine = self.machine
+        params = self.output_params
+        codec = Mp3LikeCodec(self.server.file.bitrate_kbps)
+        cost = self.costs[CodecID.MP3_LIKE]
+        fd = yield from machine.sys_open(self.device_path)
+        yield from machine.sys_ioctl(fd, AUDIO_SETINFO, params)
+        # prebuffer a few blocks against WAN jitter
+        backlog = []
+        try:
+            for _ in range(self.jitter_buffer_blocks):
+                backlog.append((yield self.rx_queue.get()))
+        except QueueClosed:
+            pass
+        while True:
+            while backlog:
+                block = backlog.pop(0)
+                samples = codec.decode_block(block)
+                yield machine.cpu.run(
+                    cost.decode_cycles(len(samples)), domain="user"
+                )
+                pcm = encode_samples(samples, params)
+                yield from machine.sys_write(fd, pcm)
+                self.blocks_played += 1
+            try:
+                backlog.append((yield self.rx_queue.get()))
+            except QueueClosed:
+                break
+        yield from machine.sys_close(fd)

@@ -1,0 +1,45 @@
+"""The simplest possible audio application: play a buffer of samples."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.audio.encodings import encode_samples
+from repro.audio.params import AudioParams
+from repro.kernel.audio import AUDIO_DRAIN, AUDIO_SETINFO
+from repro.sim.process import Process
+
+
+class TonePlayerApp:
+    """Writes pre-computed samples to an audio device and drains."""
+
+    def __init__(
+        self,
+        machine,
+        samples: np.ndarray,
+        params: AudioParams,
+        device_path: str = "/dev/audio",
+        chunk_seconds: float = 0.25,
+        drain: bool = True,
+    ):
+        self.machine = machine
+        self.samples = samples
+        self.params = params
+        self.device_path = device_path
+        self.chunk_seconds = chunk_seconds
+        self.drain = drain
+
+    def start(self) -> Process:
+        return self.machine.spawn(self._run(), name="tone-player")
+
+    def _run(self):
+        machine = self.machine
+        data = encode_samples(self.samples, self.params)
+        fd = yield from machine.sys_open(self.device_path)
+        yield from machine.sys_ioctl(fd, AUDIO_SETINFO, self.params)
+        chunk = self.params.bytes_for(self.chunk_seconds)
+        for pos in range(0, len(data), chunk):
+            yield from machine.sys_write(fd, data[pos : pos + chunk])
+        if self.drain:
+            yield from machine.sys_ioctl(fd, AUDIO_DRAIN)
+        yield from machine.sys_close(fd)

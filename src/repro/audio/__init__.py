@@ -1,0 +1,57 @@
+"""Audio formats, encodings, signals, and analysis.
+
+This package plays the role of the small, well-defined format world that the
+paper leans on (§2.1): whatever proprietary format an application decodes,
+what crosses the audio-device interface is PCM described by a handful of
+parameters — encoding, sample rate, precision, channels.
+"""
+
+from repro.audio.params import (
+    CD_QUALITY,
+    PHONE_QUALITY,
+    AudioEncoding,
+    AudioParams,
+)
+from repro.audio.encodings import decode_samples, encode_samples
+from repro.audio.signal import (
+    announcement,
+    chirp,
+    music,
+    pink_noise,
+    silence,
+    sine,
+    speech_like,
+    white_noise,
+)
+from repro.audio.analysis import (
+    discontinuity_count,
+    rms_level,
+    segmental_snr_db,
+    silence_ratio,
+    snr_db,
+)
+from repro.audio.wav import read_wav, write_wav
+
+__all__ = [
+    "AudioEncoding",
+    "AudioParams",
+    "CD_QUALITY",
+    "PHONE_QUALITY",
+    "encode_samples",
+    "decode_samples",
+    "sine",
+    "chirp",
+    "white_noise",
+    "pink_noise",
+    "music",
+    "speech_like",
+    "announcement",
+    "silence",
+    "snr_db",
+    "segmental_snr_db",
+    "rms_level",
+    "silence_ratio",
+    "discontinuity_count",
+    "read_wav",
+    "write_wav",
+]

@@ -1,0 +1,100 @@
+"""Signal quality metrics.
+
+Used by the tandem-coding experiment (§2.2: does Vorbis-at-max-quality on
+top of MP3 stay inaudible?) and by the playback verifiers that check what a
+speaker's DAC actually emitted against what the application wrote.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _mono(x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim == 2:
+        return x.mean(axis=1)
+    return x
+
+
+def rms_level(x: np.ndarray) -> float:
+    """Root-mean-square level of a signal (0 for empty input)."""
+    x = _mono(x)
+    if len(x) == 0:
+        return 0.0
+    return float(np.sqrt(np.mean(x * x)))
+
+
+def snr_db(reference: np.ndarray, test: np.ndarray) -> float:
+    """Signal-to-noise ratio of ``test`` against ``reference`` in dB.
+
+    Arrays are truncated to the common length.  Returns ``inf`` for a
+    bit-exact match and ``-inf`` for zero reference power.
+    """
+    ref = _mono(reference)
+    tst = _mono(test)
+    n = min(len(ref), len(tst))
+    ref, tst = ref[:n], tst[:n]
+    noise = ref - tst
+    signal_power = float(np.sum(ref * ref))
+    noise_power = float(np.sum(noise * noise))
+    if signal_power == 0.0:
+        return float("-inf")
+    if noise_power == 0.0:
+        return float("inf")
+    return 10.0 * np.log10(signal_power / noise_power)
+
+
+def segmental_snr_db(
+    reference: np.ndarray,
+    test: np.ndarray,
+    segment: int = 2048,
+    floor_db: float = -10.0,
+    ceil_db: float = 80.0,
+) -> float:
+    """Mean per-segment SNR — tracks audible quality better than global SNR
+    because quiet passages count as much as loud ones."""
+    ref = _mono(reference)
+    tst = _mono(test)
+    n = min(len(ref), len(tst))
+    snrs = []
+    for start in range(0, n - segment + 1, segment):
+        r = ref[start : start + segment]
+        t = tst[start : start + segment]
+        sp = float(np.sum(r * r))
+        if sp < 1e-10:
+            continue
+        npow = float(np.sum((r - t) ** 2))
+        if npow == 0.0:
+            snrs.append(ceil_db)
+        else:
+            snrs.append(
+                float(np.clip(10 * np.log10(sp / npow), floor_db, ceil_db))
+            )
+    if not snrs:
+        return float("inf")
+    return float(np.mean(snrs))
+
+
+def silence_ratio(x: np.ndarray, threshold: float = 1e-4) -> float:
+    """Fraction of samples whose magnitude is below ``threshold``.
+
+    A speaker that underran (ring buffer empty → driver inserts silence,
+    §2.1.1) shows an elevated silence ratio versus the source material.
+    """
+    x = _mono(x)
+    if len(x) == 0:
+        return 1.0
+    return float(np.mean(np.abs(x) < threshold))
+
+
+def discontinuity_count(x: np.ndarray, jump: float = 0.5) -> int:
+    """Number of sample-to-sample jumps larger than ``jump``.
+
+    Dropped blocks splice unrelated waveform sections together and show up
+    as large discontinuities — the "noticeable audio quality loss" of an
+    unlimited-rate sender (§3.1)."""
+    x = _mono(x)
+    if len(x) < 2:
+        return 0
+    return int(np.sum(np.abs(np.diff(x)) > jump))

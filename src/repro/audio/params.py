@@ -1,0 +1,114 @@
+"""Audio device parameters, mirroring OpenBSD's ``audio(4)`` info block.
+
+An application configures the device with an ``AUDIO_SETINFO`` ioctl carrying
+exactly these fields; the VAD forwards them verbatim to the master side, and
+the rebroadcaster embeds them in every control packet so a speaker can decode
+the stream without ever contacting the producer (§2.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class AudioEncoding(enum.Enum):
+    """Wire encodings supported by the audio layer (a subset of audio(4))."""
+
+    ULAW = "mulaw"          # G.711 mu-law, 8 bit
+    ALAW = "alaw"           # G.711 A-law, 8 bit
+    SLINEAR8 = "slinear8"   # signed linear, 8 bit
+    SLINEAR16 = "slinear16" # signed linear, 16 bit little-endian
+    ULINEAR8 = "ulinear8"   # unsigned linear, 8 bit
+
+    @property
+    def precision(self) -> int:
+        """Bits per sample for this encoding."""
+        return 16 if self is AudioEncoding.SLINEAR16 else 8
+
+    @property
+    def wire_id(self) -> int:
+        """Stable one-byte identifier used in control packets."""
+        return _WIRE_IDS[self]
+
+    @classmethod
+    def from_wire_id(cls, wire_id: int) -> "AudioEncoding":
+        try:
+            return _FROM_WIRE[wire_id]
+        except KeyError:
+            raise ValueError(f"unknown encoding id {wire_id}") from None
+
+
+_WIRE_IDS = {
+    AudioEncoding.ULAW: 1,
+    AudioEncoding.ALAW: 2,
+    AudioEncoding.SLINEAR8: 3,
+    AudioEncoding.SLINEAR16: 4,
+    AudioEncoding.ULINEAR8: 5,
+}
+_FROM_WIRE = {v: k for k, v in _WIRE_IDS.items()}
+
+
+@dataclass(frozen=True)
+class AudioParams:
+    """Immutable description of a PCM stream.
+
+    The arithmetic here is what the rebroadcaster's rate limiter uses to
+    answer "how long does this block take to *play*?" (§3.1).
+    """
+
+    encoding: AudioEncoding = AudioEncoding.SLINEAR16
+    sample_rate: int = 44100
+    channels: int = 2
+
+    def __post_init__(self) -> None:
+        if self.sample_rate <= 0:
+            raise ValueError(f"sample_rate must be positive: {self.sample_rate}")
+        if self.channels not in (1, 2):
+            raise ValueError(f"channels must be 1 or 2: {self.channels}")
+
+    @property
+    def precision(self) -> int:
+        """Bits per sample."""
+        return self.encoding.precision
+
+    @property
+    def frame_bytes(self) -> int:
+        """Bytes per sample frame (one sample for every channel)."""
+        return (self.precision // 8) * self.channels
+
+    @property
+    def bytes_per_second(self) -> int:
+        """Raw PCM data rate."""
+        return self.frame_bytes * self.sample_rate
+
+    @property
+    def bits_per_second(self) -> int:
+        return self.bytes_per_second * 8
+
+    def duration_of(self, nbytes: int) -> float:
+        """Playback seconds represented by ``nbytes`` of PCM."""
+        return nbytes / self.bytes_per_second
+
+    def bytes_for(self, duration: float) -> int:
+        """PCM bytes needed for ``duration`` seconds, frame-aligned."""
+        frames = round(duration * self.sample_rate)
+        return frames * self.frame_bytes
+
+    def frames_of(self, nbytes: int) -> int:
+        """Whole sample frames contained in ``nbytes``."""
+        return nbytes // self.frame_bytes
+
+    def describe(self) -> str:
+        return (
+            f"{self.encoding.value} {self.sample_rate}Hz "
+            f"{self.precision}bit {'stereo' if self.channels == 2 else 'mono'}"
+        )
+
+
+#: 44.1 kHz / 16-bit / stereo — the "CD-quality stereo" streams of Figures 4-5.
+CD_QUALITY = AudioParams(AudioEncoding.SLINEAR16, 44100, 2)
+
+#: 8 kHz mu-law mono — the classic low-bit-rate channel that stays
+#: uncompressed under the paper's selective-compression policy (§2.2).
+PHONE_QUALITY = AudioParams(AudioEncoding.ULAW, 8000, 1)

@@ -1,0 +1,69 @@
+"""A small acoustic model of the room around an Ethernet Speaker.
+
+Supports the paper's automatic-volume future work (§5.2): the ES compares
+its *own output* against the ambient level captured by the built-in
+microphone and adjusts gain so background music ducks under quiet rooms and
+announcements ride over noisy ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass
+class AmbientProfile:
+    """Ambient noise level (RMS, 0..1) as a function of time.
+
+    ``steps`` is a list of (start_time, level); the level holds until the
+    next step.  An empty profile is a silent room.
+    """
+
+    steps: List[Tuple[float, float]] = field(default_factory=list)
+
+    def level_at(self, t: float) -> float:
+        level = 0.0
+        for start, value in self.steps:
+            if t >= start:
+                level = value
+            else:
+                break
+        return level
+
+    @classmethod
+    def constant(cls, level: float) -> "AmbientProfile":
+        return cls(steps=[(0.0, level)])
+
+
+class Room:
+    """Mixes speaker output and ambient noise into a microphone signal.
+
+    The coupling coefficient models distance/absorption between the
+    speaker cone and the mic; real rooms put it well below 1.
+    """
+
+    def __init__(
+        self,
+        ambient: AmbientProfile | None = None,
+        coupling: float = 0.6,
+    ):
+        if not 0.0 <= coupling <= 1.0:
+            raise ValueError(f"coupling must be in [0,1]: {coupling}")
+        self.ambient = ambient or AmbientProfile()
+        self.coupling = coupling
+        #: most recent speaker output RMS, set by the playback path
+        self.speaker_rms = 0.0
+
+    def mic_rms(self, t: float) -> float:
+        """RMS level the microphone hears at time ``t`` (powers add)."""
+        amb = self.ambient.level_at(t)
+        return float(
+            ((self.coupling * self.speaker_rms) ** 2 + amb**2) ** 0.5
+        )
+
+    def ambient_rms(self, t: float) -> float:
+        """Ambient-only level, i.e. what the mic would hear if the
+        speaker paused — the controller estimates this by subtracting its
+        known output contribution."""
+        return self.ambient.level_at(t)

@@ -1,0 +1,139 @@
+"""Deterministic test-signal generators.
+
+Everything returns float64 mono arrays in [-1, 1]; stereo fan-out happens at
+encode time.  All stochastic generators take an explicit seed so experiments
+replay exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def silence(duration: float, sample_rate: int = 44100) -> np.ndarray:
+    """``duration`` seconds of zeros."""
+    return np.zeros(int(round(duration * sample_rate)))
+
+
+def sine(
+    freq: float,
+    duration: float,
+    sample_rate: int = 44100,
+    amplitude: float = 0.8,
+    phase: float = 0.0,
+) -> np.ndarray:
+    """A pure tone — the quickstart's test signal."""
+    t = np.arange(int(round(duration * sample_rate))) / sample_rate
+    return amplitude * np.sin(2 * np.pi * freq * t + phase)
+
+
+def chirp(
+    f0: float,
+    f1: float,
+    duration: float,
+    sample_rate: int = 44100,
+    amplitude: float = 0.8,
+) -> np.ndarray:
+    """Linear sweep from f0 to f1; good for catching dropped blocks."""
+    n = int(round(duration * sample_rate))
+    t = np.arange(n) / sample_rate
+    inst = f0 + (f1 - f0) * t / max(duration, 1e-9)
+    phase = 2 * np.pi * np.cumsum(inst) / sample_rate
+    return amplitude * np.sin(phase)
+
+
+def white_noise(
+    duration: float,
+    sample_rate: int = 44100,
+    amplitude: float = 0.5,
+    seed: int = 0,
+) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    n = int(round(duration * sample_rate))
+    return amplitude * rng.uniform(-1.0, 1.0, n)
+
+
+def pink_noise(
+    duration: float,
+    sample_rate: int = 44100,
+    amplitude: float = 0.5,
+    seed: int = 0,
+) -> np.ndarray:
+    """1/f-shaped noise via FFT filtering of white noise."""
+    rng = np.random.default_rng(seed)
+    n = int(round(duration * sample_rate))
+    white = rng.standard_normal(n)
+    spectrum = np.fft.rfft(white)
+    freqs = np.fft.rfftfreq(n, d=1.0 / sample_rate)
+    freqs[0] = freqs[1] if len(freqs) > 1 else 1.0
+    spectrum /= np.sqrt(freqs)
+    shaped = np.fft.irfft(spectrum, n)
+    peak = np.max(np.abs(shaped)) or 1.0
+    return amplitude * shaped / peak
+
+
+def music(
+    duration: float,
+    sample_rate: int = 44100,
+    seed: int = 0,
+    amplitude: float = 0.7,
+) -> np.ndarray:
+    """Music-like content: a random walk over a pentatonic scale with
+    harmonics and note envelopes.  Spectrally rich enough to exercise the
+    psychoacoustic codec in a realistic way."""
+    rng = np.random.default_rng(seed)
+    scale = 220.0 * 2 ** (np.array([0, 3, 5, 7, 10, 12]) / 12.0)
+    n = int(round(duration * sample_rate))
+    out = np.zeros(n)
+    pos = 0
+    degree = rng.integers(0, len(scale))
+    while pos < n:
+        note_len = int(sample_rate * rng.uniform(0.12, 0.4))
+        note_len = min(note_len, n - pos)
+        degree = int(np.clip(degree + rng.integers(-2, 3), 0, len(scale) - 1))
+        f = scale[degree] * rng.choice([0.5, 1.0, 1.0, 2.0])
+        t = np.arange(note_len) / sample_rate
+        tone = np.zeros(note_len)
+        for harmonic, gain in ((1, 1.0), (2, 0.5), (3, 0.25), (4, 0.12)):
+            tone += gain * np.sin(2 * np.pi * f * harmonic * t)
+        envelope = np.exp(-3.0 * t) * np.minimum(1.0, t * 200.0)
+        out[pos : pos + note_len] += tone * envelope
+        pos += note_len
+    peak = np.max(np.abs(out)) or 1.0
+    return amplitude * out / peak
+
+
+def speech_like(
+    duration: float,
+    sample_rate: int = 44100,
+    seed: int = 0,
+    amplitude: float = 0.6,
+) -> np.ndarray:
+    """Speech-shaped signal: noise bursts amplitude-modulated at syllabic
+    rate with formant-ish band emphasis.  Stands in for announcements."""
+    rng = np.random.default_rng(seed)
+    n = int(round(duration * sample_rate))
+    carrier = rng.standard_normal(n)
+    spectrum = np.fft.rfft(carrier)
+    freqs = np.fft.rfftfreq(n, d=1.0 / sample_rate)
+    emphasis = np.exp(-(((freqs - 500.0) / 700.0) ** 2)) + 0.4 * np.exp(
+        -(((freqs - 1800.0) / 900.0) ** 2)
+    )
+    shaped = np.fft.irfft(spectrum * emphasis, n)
+    t = np.arange(n) / sample_rate
+    syllables = 0.5 * (1 + np.sin(2 * np.pi * 4.0 * t + rng.uniform(0, 6.28)))
+    pauses = (np.sin(2 * np.pi * 0.7 * t) > -0.6).astype(float)
+    out = shaped * syllables * pauses
+    peak = np.max(np.abs(out)) or 1.0
+    return amplitude * out / peak
+
+
+def announcement(
+    duration: float, sample_rate: int = 44100, seed: int = 1
+) -> np.ndarray:
+    """A louder speech-like signal preceded by an attention chime."""
+    chime = sine(880.0, min(0.3, duration), sample_rate, amplitude=0.9)
+    rest = speech_like(
+        max(duration - 0.3, 0.0), sample_rate, seed=seed, amplitude=0.9
+    )
+    return np.concatenate([chime, rest])[: int(round(duration * sample_rate))]

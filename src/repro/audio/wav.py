@@ -1,0 +1,87 @@
+"""Minimal RIFF/WAVE reader and writer (PCM16 only), written from scratch.
+
+Used by the time-shifting example (§3.3: "applications may be developed to
+process the audio stream, e.g. time-shifting Internet radio transmissions")
+to park a captured stream on disk in a format any tool can open.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.audio.params import AudioEncoding, AudioParams
+from repro.audio.encodings import decode_samples, encode_samples
+
+
+def write_wav(
+    path: Union[str, Path],
+    samples: np.ndarray,
+    sample_rate: int = 44100,
+) -> int:
+    """Write float samples (mono or (frames, channels)) as PCM16 WAV.
+
+    Returns the number of bytes written.
+    """
+    x = np.asarray(samples, dtype=np.float64)
+    if x.ndim == 1:
+        x = x[:, np.newaxis]
+    channels = x.shape[1]
+    params = AudioParams(
+        AudioEncoding.SLINEAR16, sample_rate, 2 if channels == 2 else 1
+    )
+    pcm = encode_samples(x, params)
+    header = _wav_header(len(pcm), sample_rate, channels)
+    payload = header + pcm
+    Path(path).write_bytes(payload)
+    return len(payload)
+
+
+def _wav_header(data_bytes: int, sample_rate: int, channels: int) -> bytes:
+    byte_rate = sample_rate * channels * 2
+    block_align = channels * 2
+    return b"".join(
+        [
+            b"RIFF",
+            struct.pack("<I", 36 + data_bytes),
+            b"WAVE",
+            b"fmt ",
+            struct.pack(
+                "<IHHIIHH", 16, 1, channels, sample_rate, byte_rate,
+                block_align, 16,
+            ),
+            b"data",
+            struct.pack("<I", data_bytes),
+        ]
+    )
+
+
+def read_wav(path: Union[str, Path]) -> Tuple[np.ndarray, int]:
+    """Read a PCM16 WAV file; returns (samples (frames, channels), rate)."""
+    raw = Path(path).read_bytes()
+    if raw[:4] != b"RIFF" or raw[8:12] != b"WAVE":
+        raise ValueError(f"{path}: not a RIFF/WAVE file")
+    offset = 12
+    fmt = None
+    data = None
+    while offset + 8 <= len(raw):
+        chunk_id = raw[offset : offset + 4]
+        (chunk_size,) = struct.unpack_from("<I", raw, offset + 4)
+        body = raw[offset + 8 : offset + 8 + chunk_size]
+        if chunk_id == b"fmt ":
+            fmt = struct.unpack_from("<HHIIHH", body, 0)
+        elif chunk_id == b"data":
+            data = body
+        offset += 8 + chunk_size + (chunk_size & 1)
+    if fmt is None or data is None:
+        raise ValueError(f"{path}: missing fmt or data chunk")
+    audio_format, channels, sample_rate, _, _, bits = fmt
+    if audio_format != 1 or bits != 16:
+        raise ValueError(f"{path}: only PCM16 supported, got fmt={fmt}")
+    params = AudioParams(
+        AudioEncoding.SLINEAR16, sample_rate, 2 if channels == 2 else 1
+    )
+    return decode_samples(data, params), sample_rate

@@ -1,0 +1,58 @@
+"""Codec interface and registry.
+
+Data packets on the wire carry a one-byte codec id (see
+:mod:`repro.core.protocol`); speakers look the decoder up here.  Every codec
+block is self-describing — channels and sample counts live in the block
+header — so a receive-only speaker needs no out-of-band decoder state beyond
+the periodic control packet (§2.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict
+
+import numpy as np
+
+
+class CodecID(enum.IntEnum):
+    """Wire identifiers for payload encodings."""
+
+    RAW = 0         # PCM exactly as read from the VAD (interpret via AudioParams)
+    VORBIS_LIKE = 1 # MDCT psychoacoustic codec (the paper's Ogg Vorbis role)
+    ADPCM = 2       # IMA ADPCM, 4 bits/sample
+    MP3_LIKE = 3    # DCT-II fixed-rate codec (the tandem-coding partner)
+
+
+class BlockCodec:
+    """Interface: encode/decode one self-contained block of samples.
+
+    ``encode_block`` takes float samples shaped ``(frames, channels)`` in
+    [-1, 1] and returns wire bytes; ``decode_block`` inverts it.  Blocks are
+    independent: losing one packet never corrupts the next (required for a
+    multicast receiver with no retransmission path).
+    """
+
+    codec_id: CodecID
+
+    def encode_block(self, samples: np.ndarray) -> bytes:
+        raise NotImplementedError
+
+    def decode_block(self, data: bytes) -> np.ndarray:
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[CodecID, Callable[..., BlockCodec]] = {}
+
+
+def register_codec(codec_id: CodecID, factory: Callable[..., BlockCodec]):
+    _REGISTRY[codec_id] = factory
+
+
+def get_codec(codec_id: CodecID, **kwargs) -> BlockCodec:
+    """Instantiate the codec for a wire id (kwargs reach the constructor)."""
+    try:
+        factory = _REGISTRY[CodecID(codec_id)]
+    except KeyError:
+        raise ValueError(f"no codec registered for id {codec_id}") from None
+    return factory(**kwargs)

@@ -1,0 +1,218 @@
+"""A deliberately *different* lossy codec plus a file format around it.
+
+Stands in for MP3 in the tandem-coding experiment (§2.2): "If a user were to
+take their favorite MP3 file and play it over the Ogg Vorbis equipped
+Ethernet Speaker it would pass through two very different lossy audio
+compression algorithms."  Where :class:`VorbisLikeCodec` uses an overlapped
+MDCT with masking-driven allocation, this codec uses non-overlapped DCT-II
+blocks with a *fixed* bitrate ladder — different transform, different
+windowing, different allocation, hence genuinely different loss patterns.
+
+:class:`Mp3LikeFile` is the container the simulated ``mpg123`` player reads
+(:mod:`repro.apps.mp3player`).
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+from scipy.fft import dct, idct
+
+from repro.codec import bitpack
+from repro.codec.base import BlockCodec, CodecID, register_codec
+
+_BLOCK = 576  # samples per transform block, MP3's granule size
+_HEADER = struct.Struct("<BBHI")  # codec, channels, kbps, num_samples
+
+#: geometric band edges over the 576 spectral lines
+_EDGES = np.unique(
+    np.round(np.geomspace(1, _BLOCK, 22)).astype(np.int64) - 1
+)
+_EDGES[0] = 0
+_EDGES[-1] = _BLOCK
+
+SUPPORTED_KBPS = (96, 128, 192, 256, 320)
+
+
+def _width_table(kbps: int, channels: int) -> np.ndarray:
+    """Fixed per-band quantiser widths for a target bitrate.
+
+    Low bands keep more bits; the scale factor is chosen so the packed
+    size lands near the nominal rate for 44.1 kHz stereo material.
+    """
+    base = np.linspace(1.0, 0.35, len(_EDGES) - 1)
+    # average bits per sample the nominal rate affords (44.1 kHz material)
+    bits_per_sample = kbps * 1000.0 / (44100.0 * channels)
+    widths = np.round(base * bits_per_sample / base.mean()).astype(np.int64)
+    return np.clip(widths, 0, 15)
+
+
+class Mp3LikeCodec(BlockCodec):
+    """Fixed-rate DCT-II codec.  ``bitrate_kbps`` picks the rung."""
+
+    codec_id = CodecID.MP3_LIKE
+
+    def __init__(self, bitrate_kbps: int = 192):
+        if bitrate_kbps not in SUPPORTED_KBPS:
+            raise ValueError(
+                f"bitrate {bitrate_kbps} not in ladder {SUPPORTED_KBPS}"
+            )
+        self.bitrate_kbps = bitrate_kbps
+
+    def encode_block(self, samples: np.ndarray) -> bytes:
+        x = np.asarray(samples, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[:, None]
+        num_samples, channels = x.shape
+        widths = _width_table(self.bitrate_kbps, channels)
+        padded_len = ((num_samples + _BLOCK - 1) // _BLOCK) * _BLOCK
+        padded = np.zeros((padded_len, channels))
+        padded[:num_samples] = x
+        parts = [
+            _HEADER.pack(
+                int(self.codec_id), channels, self.bitrate_kbps, num_samples
+            )
+        ]
+        for ch in range(channels):
+            blocks = padded[:, ch].reshape(-1, _BLOCK)
+            spectra = dct(blocks, type=2, axis=1, norm="ortho")
+            for spec in spectra:
+                parts.append(self._encode_spectrum(spec, widths))
+        return b"".join(parts)
+
+    def _encode_spectrum(self, spec: np.ndarray, widths: np.ndarray) -> bytes:
+        parts = []
+        for b in range(len(_EDGES) - 1):
+            width = int(widths[b])
+            lo, hi = _EDGES[b], _EDGES[b + 1]
+            band = spec[lo:hi]
+            amax = float(np.max(np.abs(band)))
+            if width < 2 or amax == 0.0:
+                parts.append(b"\x00")
+                continue
+            top = (1 << (width - 1)) - 1
+            exponent = int(np.ceil(np.log2(amax / top)))
+            exponent = max(-120, min(120, exponent))
+            q = np.clip(
+                np.round(band / 2.0**exponent), -top - 1, top
+            ).astype(np.int64)
+            parts.append(
+                struct.pack("<Bb", width, exponent) + bitpack.pack_int(q, width)
+            )
+        return b"".join(parts)
+
+    def decode_block(self, data: bytes) -> np.ndarray:
+        codec, channels, kbps, num_samples = _HEADER.unpack_from(data, 0)
+        if codec != int(self.codec_id):
+            raise ValueError(f"not an mp3like block (codec id {codec})")
+        offset = _HEADER.size
+        num_blocks = (num_samples + _BLOCK - 1) // _BLOCK
+        planes = []
+        for _ in range(channels):
+            spectra = np.zeros((num_blocks, _BLOCK))
+            for blk in range(num_blocks):
+                offset = self._decode_spectrum(data, offset, spectra[blk])
+            plane = idct(spectra, type=2, axis=1, norm="ortho").reshape(-1)
+            planes.append(plane[:num_samples])
+        return np.clip(np.stack(planes, axis=1), -1.0, 1.0)
+
+    def _decode_spectrum(
+        self, data: bytes, offset: int, out: np.ndarray
+    ) -> int:
+        for b in range(len(_EDGES) - 1):
+            width = data[offset]
+            offset += 1
+            if width == 0:
+                continue
+            (exponent,) = struct.unpack_from("<b", data, offset)
+            offset += 1
+            lo, hi = _EDGES[b], _EDGES[b + 1]
+            count = hi - lo
+            nbytes = bitpack.packed_size(width, count)
+            q = bitpack.unpack_int(data[offset : offset + nbytes], width, count)
+            offset += nbytes
+            out[lo:hi] = q * 2.0**exponent
+        return offset
+
+
+_FILE_MAGIC = b"MPL1"
+_FILE_HEADER = struct.Struct("<4sIBHI")  # magic, rate, channels, kbps, blocks
+
+
+class Mp3LikeFile:
+    """Container: a sequence of independently decodable Mp3Like blocks.
+
+    This is what lives on disk for the simulated off-the-shelf player — the
+    proprietary-format side of the VAD story.  Block granularity of ~0.5 s
+    lets the player decode incrementally like a real streaming decoder.
+    """
+
+    def __init__(self, sample_rate: int, channels: int, bitrate_kbps: int,
+                 blocks: list[bytes]):
+        self.sample_rate = sample_rate
+        self.channels = channels
+        self.bitrate_kbps = bitrate_kbps
+        self.blocks = blocks
+
+    @classmethod
+    def encode(
+        cls,
+        samples: np.ndarray,
+        sample_rate: int,
+        bitrate_kbps: int = 192,
+        block_seconds: float = 0.5,
+    ) -> "Mp3LikeFile":
+        x = np.asarray(samples, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[:, None]
+        channels = x.shape[1]
+        codec = Mp3LikeCodec(bitrate_kbps)
+        step = max(_BLOCK, int(round(block_seconds * sample_rate)))
+        blocks = [
+            codec.encode_block(x[pos : pos + step])
+            for pos in range(0, len(x), step)
+        ]
+        return cls(sample_rate, channels, bitrate_kbps, blocks)
+
+    def to_bytes(self) -> bytes:
+        parts = [
+            _FILE_HEADER.pack(
+                _FILE_MAGIC,
+                self.sample_rate,
+                self.channels,
+                self.bitrate_kbps,
+                len(self.blocks),
+            )
+        ]
+        for block in self.blocks:
+            parts.append(struct.pack("<I", len(block)))
+            parts.append(block)
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Mp3LikeFile":
+        magic, rate, channels, kbps, count = _FILE_HEADER.unpack_from(data, 0)
+        if magic != _FILE_MAGIC:
+            raise ValueError("not an Mp3Like file")
+        offset = _FILE_HEADER.size
+        blocks = []
+        for _ in range(count):
+            (length,) = struct.unpack_from("<I", data, offset)
+            offset += 4
+            blocks.append(data[offset : offset + length])
+            offset += length
+        return cls(rate, channels, kbps, blocks)
+
+    def decode_all(self) -> np.ndarray:
+        codec = Mp3LikeCodec(self.bitrate_kbps)
+        return np.concatenate(
+            [codec.decode_block(b) for b in self.blocks], axis=0
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(len(b) for b in self.blocks)
+
+
+register_codec(CodecID.MP3_LIKE, Mp3LikeCodec)

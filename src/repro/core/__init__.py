@@ -1,0 +1,44 @@
+"""The Ethernet Speaker system itself (the paper's contribution).
+
+Three elements, as in the abstract:
+
+* the **rebroadcaster** (:mod:`repro.core.rebroadcaster`) — converts the
+  audio output of an unmodified application (read from the VAD master) into
+  a multicast network stream with configuration and timing information;
+* the **Ethernet Speakers** (:mod:`repro.core.speaker`) — receive-only
+  devices that turn the stream back into sound;
+* the **protocol** (:mod:`repro.core.protocol`) — periodic control packets
+  carrying the audio configuration and a producer wall clock, plus data
+  packets with per-block play timestamps, which together keep every speaker
+  on a LAN playing the same thing at the same time (§2.3, §3.2).
+
+:class:`~repro.core.system.EthernetSpeakerSystem` assembles a complete
+deployment (LAN + producer + speakers) in a few lines; see
+``examples/quickstart.py``.
+"""
+
+from repro.core.channel import ChannelConfig
+from repro.core.protocol import (
+    AnnouncePacket,
+    ControlPacket,
+    DataPacket,
+    ProtocolError,
+    parse_packet,
+)
+from repro.core.ratelimiter import RateLimiter
+from repro.core.rebroadcaster import Rebroadcaster
+from repro.core.speaker import EthernetSpeaker
+from repro.core.system import EthernetSpeakerSystem
+
+__all__ = [
+    "ChannelConfig",
+    "ControlPacket",
+    "DataPacket",
+    "AnnouncePacket",
+    "ProtocolError",
+    "parse_packet",
+    "RateLimiter",
+    "Rebroadcaster",
+    "EthernetSpeaker",
+    "EthernetSpeakerSystem",
+]

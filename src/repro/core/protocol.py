@@ -1,0 +1,223 @@
+"""Wire format of the Ethernet Speaker protocol.
+
+Design requirements from §2.3:
+
+* **Control packets** are sent "at regular intervals with the configuration
+  of the audio driver", carrying a producer wall-clock timestamp; a speaker
+  "has to wait till it receives a control packet before it can start
+  playing".  The producer therefore keeps no per-speaker state and the
+  speakers never transmit.
+* **Data packets** carry "a timestamp ... that instructs the ES when it
+  should play the data", expressed relative to the control packets' wall
+  clock (§3.2).
+* **Announce packets** implement the MFTP-style out-of-band catalog the
+  paper plans in §4.3: a separate multicast group lists the channels being
+  transmitted so speakers can tune without listening to every stream.
+
+All integers little-endian; one packet per UDP datagram.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from repro.audio.params import AudioEncoding, AudioParams
+from repro.codec.base import CodecID
+
+MAGIC = 0xE55A
+VERSION = 1
+
+TYPE_CONTROL = 1
+TYPE_DATA = 2
+TYPE_ANNOUNCE = 3
+
+_COMMON = struct.Struct("<HBBHI")  # magic, version, type, channel_id, seq
+_CONTROL = struct.Struct("<ddBIBBB")  # wall_clock, stream_pos, enc, rate,
+                                      # channels, codec, quality
+_DATA = struct.Struct("<dBBI")  # play_at, codec, flags, pcm_bytes
+_ANNOUNCE_ENTRY = struct.Struct("<H4sHB")  # channel_id, ip, port, codec
+
+#: DataPacket.flags bit: payload is synthetic filler of the right size, not
+#: a decodable codec block (used by pure-performance scenarios)
+FLAG_SYNTHETIC = 0x01
+
+
+class ProtocolError(Exception):
+    """Malformed or foreign packet."""
+
+
+@dataclass(frozen=True)
+class ControlPacket:
+    """Periodic stream configuration + the producer's wall clock.
+
+    ``wall_clock`` is the producer's clock when the packet was built;
+    ``stream_pos`` is the playback position (seconds of audio sent so far).
+    Together they anchor every speaker to the same playout schedule.
+    """
+
+    channel_id: int
+    seq: int
+    wall_clock: float
+    stream_pos: float
+    params: AudioParams
+    codec_id: CodecID = CodecID.RAW
+    quality: int = 10
+    name: str = ""
+
+    def encode(self) -> bytes:
+        name_bytes = self.name.encode("utf-8")[:255]
+        return (
+            _COMMON.pack(MAGIC, VERSION, TYPE_CONTROL, self.channel_id,
+                         self.seq)
+            + _CONTROL.pack(
+                self.wall_clock,
+                self.stream_pos,
+                self.params.encoding.wire_id,
+                self.params.sample_rate,
+                self.params.channels,
+                int(self.codec_id),
+                self.quality,
+            )
+            + bytes([len(name_bytes)])
+            + name_bytes
+        )
+
+
+@dataclass(frozen=True)
+class DataPacket:
+    """One block of (possibly compressed) audio plus its play deadline."""
+
+    channel_id: int
+    seq: int
+    play_at: float
+    payload: bytes
+    codec_id: CodecID = CodecID.RAW
+    synthetic: bool = False
+    pcm_bytes: int = 0
+
+    def encode(self) -> bytes:
+        flags = FLAG_SYNTHETIC if self.synthetic else 0
+        return (
+            _COMMON.pack(MAGIC, VERSION, TYPE_DATA, self.channel_id, self.seq)
+            + _DATA.pack(self.play_at, int(self.codec_id), flags,
+                         self.pcm_bytes)
+            + self.payload
+        )
+
+
+@dataclass(frozen=True)
+class AnnounceEntry:
+    channel_id: int
+    group_ip: str
+    port: int
+    codec_id: CodecID
+    name: str
+
+
+@dataclass(frozen=True)
+class AnnouncePacket:
+    """Out-of-band channel catalog (§4.3, after MFTP)."""
+
+    seq: int
+    entries: Tuple[AnnounceEntry, ...] = ()
+
+    def encode(self) -> bytes:
+        parts = [
+            _COMMON.pack(MAGIC, VERSION, TYPE_ANNOUNCE, 0, self.seq),
+            bytes([len(self.entries)]),
+        ]
+        for entry in self.entries:
+            ip_bytes = bytes(int(x) for x in entry.group_ip.split("."))
+            name_bytes = entry.name.encode("utf-8")[:255]
+            parts.append(
+                _ANNOUNCE_ENTRY.pack(
+                    entry.channel_id, ip_bytes, entry.port,
+                    int(entry.codec_id),
+                )
+            )
+            parts.append(bytes([len(name_bytes)]))
+            parts.append(name_bytes)
+        return b"".join(parts)
+
+
+Packet = Union[ControlPacket, DataPacket, AnnouncePacket]
+
+
+def parse_packet(data: bytes) -> Packet:
+    """Decode any protocol packet; raises :class:`ProtocolError` on junk."""
+    if len(data) < _COMMON.size:
+        raise ProtocolError(f"short packet ({len(data)} bytes)")
+    magic, version, ptype, channel_id, seq = _COMMON.unpack_from(data, 0)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad magic {magic:#x}")
+    if version != VERSION:
+        raise ProtocolError(f"unsupported version {version}")
+    body = data[_COMMON.size :]
+    try:
+        if ptype == TYPE_CONTROL:
+            return _parse_control(channel_id, seq, body)
+        if ptype == TYPE_DATA:
+            return _parse_data(channel_id, seq, body)
+        if ptype == TYPE_ANNOUNCE:
+            return _parse_announce(seq, body)
+    except (struct.error, ValueError, IndexError) as err:
+        raise ProtocolError(f"malformed packet: {err}") from None
+    raise ProtocolError(f"unknown packet type {ptype}")
+
+
+def _parse_control(channel_id: int, seq: int, body: bytes) -> ControlPacket:
+    (wall_clock, stream_pos, enc, rate, channels, codec, quality) = (
+        _CONTROL.unpack_from(body, 0)
+    )
+    offset = _CONTROL.size
+    name_len = body[offset]
+    name = body[offset + 1 : offset + 1 + name_len].decode("utf-8")
+    return ControlPacket(
+        channel_id=channel_id,
+        seq=seq,
+        wall_clock=wall_clock,
+        stream_pos=stream_pos,
+        params=AudioParams(AudioEncoding.from_wire_id(enc), rate, channels),
+        codec_id=CodecID(codec),
+        quality=quality,
+        name=name,
+    )
+
+
+def _parse_data(channel_id: int, seq: int, body: bytes) -> DataPacket:
+    play_at, codec, flags, pcm_bytes = _DATA.unpack_from(body, 0)
+    return DataPacket(
+        channel_id=channel_id,
+        seq=seq,
+        play_at=play_at,
+        payload=body[_DATA.size :],
+        codec_id=CodecID(codec),
+        synthetic=bool(flags & FLAG_SYNTHETIC),
+        pcm_bytes=pcm_bytes,
+    )
+
+
+def _parse_announce(seq: int, body: bytes) -> AnnouncePacket:
+    count = body[0]
+    offset = 1
+    entries = []
+    for _ in range(count):
+        channel_id, ip_bytes, port, codec = _ANNOUNCE_ENTRY.unpack_from(
+            body, offset
+        )
+        offset += _ANNOUNCE_ENTRY.size
+        name_len = body[offset]
+        name = body[offset + 1 : offset + 1 + name_len].decode("utf-8")
+        offset += 1 + name_len
+        entries.append(
+            AnnounceEntry(
+                channel_id=channel_id,
+                group_ip=".".join(str(b) for b in ip_bytes),
+                port=port,
+                codec_id=CodecID(codec),
+                name=name,
+            )
+        )
+    return AnnouncePacket(seq=seq, entries=tuple(entries))

@@ -1,0 +1,67 @@
+"""The rebroadcaster's rate limiter (§3.1).
+
+"The solution is to instruct the rebroadcaster to sleep for the exact
+duration of time that it would take to actually play the data ... The
+actual duration of this sleep is calculated using the various encoding
+parameters such as the sample rate and precision."
+
+The paper deliberately keeps this *out* of the VAD driver ("we did not want
+to limit the functionality of the VAD by slowing it down unnecessarily"),
+so it lives here as a user-level object the rebroadcaster consults.
+
+The limiter is cumulative: it tracks where the stream *should* be rather
+than sleeping per block, so rounding never drifts and a five-minute song
+takes five minutes, exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.audio.params import AudioParams
+
+
+class RateLimiter:
+    """Paces PCM blocks to their playback rate."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._origin: Optional[float] = None
+        self._stream_pos = 0.0  # seconds of audio released so far
+
+    @property
+    def stream_pos(self) -> float:
+        """Seconds of audio admitted so far (the stream clock)."""
+        return self._stream_pos
+
+    def reset(self) -> None:
+        self._origin = None
+        self._stream_pos = 0.0
+
+    def position_at(self, now: float) -> float:
+        """The stream position that is *current* at wall time ``now``.
+
+        This is what control packets advertise: a paced sender's position
+        advances with the wall clock (capped by what has actually been
+        released), so every control packet describes the same schedule no
+        matter where between block boundaries it was emitted.
+        """
+        if self._origin is None:
+            return 0.0
+        return min(self._stream_pos, max(0.0, now - self._origin))
+
+    def delay_before(self, nbytes: int, params: AudioParams, now: float) -> float:
+        """Seconds the sender must sleep before releasing this block, and
+        account the block as released.
+
+        The block covering stream positions [p, p+d) may be released at
+        origin + p; earlier release would outrun real hardware, later is
+        fine (the limiter never delays a sender that is already behind).
+        """
+        if self._origin is None:
+            self._origin = now
+        release_at = self._origin + self._stream_pos
+        self._stream_pos += params.duration_of(nbytes)
+        if not self.enabled:
+            return 0.0
+        return max(0.0, release_at - now)

@@ -1,0 +1,295 @@
+"""The Ethernet Speaker: a receive-only playback node (§2.3, §2.4, §3.2).
+
+State machine per the paper: the speaker joins the channel's multicast
+group and **waits for a control packet** (it cannot decode anything before
+it knows the audio configuration); then for every data packet it computes a
+local play deadline from the producer wall clock and the packet's play
+timestamp, and
+
+* **sleeps** if the data is early,
+* **plays** if it is within the epsilon leeway,
+* **throws the data away** if it is later than epsilon — "throwing away
+  data up until the current wall time" (§3.2).
+
+The speaker never transmits: the producer keeps no state about it, and any
+number of speakers can tune in or out without anyone's cooperation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.audio.encodings import decode_samples, encode_samples
+from repro.audio.params import AudioParams
+from repro.codec.base import CodecID, get_codec
+from repro.codec.cost import DEFAULT_COSTS
+from repro.core.protocol import (
+    AnnouncePacket,
+    ControlPacket,
+    DataPacket,
+    ProtocolError,
+    parse_packet,
+)
+from repro.kernel.audio import AUDIO_SETINFO
+from repro.sim.process import Process, ProcessKilled, Sleep
+
+
+@dataclass
+class SpeakerStats:
+    control_rx: int = 0
+    data_rx: int = 0
+    played: int = 0
+    late_dropped: int = 0
+    waiting_dropped: int = 0  # data before the first control packet
+    seq_gaps: int = 0
+    concealed: int = 0
+    garbage_rx: int = 0
+    auth_rejected: int = 0
+    first_play_time: Optional[float] = None
+    #: (stream position, local time the block was committed to the device)
+    play_log: List[Tuple[float, float]] = field(default_factory=list)
+    #: (stream position, cumulative PCM bytes written before the block) —
+    #: lets the sink map stream positions to actual DAC emission times
+    write_offsets: List[Tuple[float, int]] = field(default_factory=list)
+
+
+class EthernetSpeaker:
+    """One speaker node.
+
+    Parameters
+    ----------
+    epsilon:
+        the §3.2 leeway: how late a block may be and still play.  Too
+        small and "data will be unnecessarily thrown out and skipping in
+        playback will be noticeable".
+    playout_delay:
+        fixed buffering depth between a block's nominal stream time and
+        its local play deadline; absorbs network jitter and decode time.
+    rx_buffer_packets:
+        the speaker's input buffer (§3.2's "it needs to buffer the data").
+    """
+
+    def __init__(
+        self,
+        machine,
+        group_ip: str,
+        port: int,
+        epsilon: float = 0.020,
+        playout_delay: float = 0.400,
+        resync_threshold: float = 0.250,
+        rx_buffer_packets: int = 64,
+        audio_path: str = "/dev/audio",
+        verifier=None,
+        cost_model=None,
+        room=None,
+        conceal_losses: bool = False,
+        name: str = "",
+    ):
+        self.machine = machine
+        self.group_ip = group_ip
+        self.port = port
+        self.epsilon = epsilon
+        self.playout_delay = playout_delay
+        self.resync_threshold = resync_threshold
+        self.rx_buffer_packets = rx_buffer_packets
+        self.audio_path = audio_path
+        self.verifier = verifier
+        self.costs = cost_model or DEFAULT_COSTS
+        self.room = room
+        #: extension beyond the paper: bridge lost packets by repeating
+        #: the previous block instead of letting the driver insert
+        #: silence — the standard concealment for uncompressed audio
+        self.conceal_losses = conceal_losses
+        self._last_pcm: Optional[bytes] = None
+        #: playback gain (§5.2's knob); 1.0 = unity
+        self.gain = 1.0
+        #: RMS level of the most recently played block, after gain
+        self.last_output_rms = 0.0
+        self.name = name or f"es-{machine.name}"
+        self.stats = SpeakerStats()
+        self._proc: Optional[Process] = None
+        self._params: Optional[AudioParams] = None
+        self._decoder = None
+        self._decoder_key = None
+        # sync anchor: (local time, stream position) from a control packet
+        self._anchor: Optional[Tuple[float, float]] = None
+        self._playing_started = False
+        self._last_seq: Optional[int] = None
+        self._bytes_written = 0
+        self._sock = None
+
+    @property
+    def state(self) -> str:
+        return "playing" if self._anchor is not None else "waiting"
+
+    def start(self) -> Process:
+        self._proc = self.machine.spawn(
+            self._run(), name=f"{self.machine.name}/es"
+        )
+        return self._proc
+
+    def stop(self) -> None:
+        if self._proc is not None:
+            self._proc.kill()
+
+    def retune(self, group_ip: str, port: int) -> None:
+        """Switch channels (§5.3): leave the group, reset sync state."""
+        if self._sock is not None:
+            self.machine.net.nic.leave_group(self.group_ip)
+        self.group_ip = group_ip
+        self.port = port
+        self._anchor = None
+        self._last_seq = None
+        if self._proc is not None:
+            self._proc.kill()
+            self.start()
+
+    # -- the receive loop -----------------------------------------------------------
+
+    def _run(self):
+        machine = self.machine
+        sock = machine.net.socket(self.port, rx_capacity=self.rx_buffer_packets)
+        sock.join_multicast(self.group_ip)
+        self._sock = sock
+        fd = yield from machine.sys_open(self.audio_path)
+        try:
+            while True:
+                msg = yield sock.recv()
+                wire = msg.payload
+                if self.verifier is not None:
+                    yield machine.cpu.run(
+                        self.verifier.verify_cycles(len(wire)), domain="user"
+                    )
+                    wire = self.verifier.unwrap(wire)
+                    if wire is None:
+                        self.stats.auth_rejected += 1
+                        continue
+                try:
+                    packet = parse_packet(wire)
+                except ProtocolError:
+                    self.stats.garbage_rx += 1
+                    continue
+                if isinstance(packet, ControlPacket):
+                    yield from self._handle_control(fd, packet)
+                elif isinstance(packet, DataPacket):
+                    yield from self._handle_data(fd, packet)
+        except ProcessKilled:
+            raise
+        finally:
+            sock.close()
+
+    def _handle_control(self, fd, packet: ControlPacket):
+        self.stats.control_rx += 1
+        if packet.params != self._params:
+            self._params = packet.params
+            yield from self.machine.sys_ioctl(fd, AUDIO_SETINFO, packet.params)
+        now = self.machine.sim.now
+        if self._anchor is None:
+            self._anchor = (now, packet.stream_pos)
+            self._playing_started = False
+        else:
+            # §3.2: the wall clock in each control packet tells the speaker
+            # whether it is playing too quickly or slowly.  Small deviations
+            # are jitter and are ignored; a large shift means the stream
+            # paused, restarted, or we fell badly behind — re-anchor.
+            predicted = self._anchor[0] + (packet.stream_pos - self._anchor[1])
+            if abs(now - predicted) > self.resync_threshold:
+                self._anchor = (now, packet.stream_pos)
+                self._playing_started = False
+
+    def _handle_data(self, fd, packet: DataPacket):
+        machine = self.machine
+        self.stats.data_rx += 1
+        if self._anchor is None or self._params is None:
+            # §2.3: "The Ethernet Speaker has to wait till it receives a
+            # control packet before it can start playing"
+            self.stats.waiting_dropped += 1
+            return
+        gap = 0
+        if self._last_seq is not None and packet.seq > self._last_seq + 1:
+            gap = packet.seq - self._last_seq - 1
+            self.stats.seq_gaps += gap
+        self._last_seq = max(self._last_seq or 0, packet.seq)
+
+        pcm = yield from self._decode(packet)
+
+        if (
+            self.conceal_losses
+            and gap
+            and self._last_pcm is not None
+            and self._playing_started
+        ):
+            # repeat the previous block across the hole (capped: a long
+            # outage should fade out, not stutter forever)
+            for _ in range(min(gap, 3)):
+                self._bytes_written += len(self._last_pcm)
+                yield from machine.sys_write(fd, self._last_pcm)
+                self.stats.concealed += 1
+        self._last_pcm = pcm
+
+        anchor_time, anchor_pos = self._anchor
+        deadline = anchor_time + (packet.play_at - anchor_pos) + self.playout_delay
+        now = machine.sim.now
+        if not self._playing_started:
+            # §3.2: playing too quickly -> sleep until it is time to play.
+            # Only the first block is gated on its deadline; while we
+            # sleep, the following packets queue in the receive buffer,
+            # and the burst of writes that follows fills the audio ring.
+            # From then on the device's own DMA pacing holds the schedule.
+            if now < deadline:
+                yield Sleep(deadline - now)
+            self._playing_started = True
+        if now - deadline > self.epsilon:
+            # §3.2: too late -> throw the data away
+            self.stats.late_dropped += 1
+            return
+        self.stats.play_log.append((packet.play_at, machine.sim.now))
+        self.stats.write_offsets.append((packet.play_at, self._bytes_written))
+        if self.stats.first_play_time is None:
+            self.stats.first_play_time = machine.sim.now
+        self._bytes_written += len(pcm)
+        yield from machine.sys_write(fd, pcm)
+        self.stats.played += 1
+
+    def _decode(self, packet: DataPacket):
+        """Payload -> PCM bytes in the device's configured format."""
+        machine = self.machine
+        params = self._params
+        frames = params.frames_of(packet.pcm_bytes or len(packet.payload))
+        cost = self.costs[packet.codec_id]
+        cycles = cost.decode_cycles(frames)
+        if cycles > 0:
+            yield machine.cpu.run(cycles, domain="user")
+        if packet.synthetic:
+            return bytes(packet.pcm_bytes)
+        if packet.codec_id == CodecID.RAW:
+            if self.gain == 1.0 and self.room is None:
+                return packet.payload
+            samples = decode_samples(packet.payload, params)
+        else:
+            decoder = self._get_decoder(packet.codec_id)
+            samples = decoder.decode_block(packet.payload)
+        if self.gain != 1.0:
+            samples = np.clip(samples * self.gain, -1.0, 1.0)
+        if len(samples):
+            self.last_output_rms = float(
+                np.sqrt(np.mean(np.square(samples)))
+            )
+            if self.room is not None:
+                self.room.speaker_rms = self.last_output_rms
+        return encode_samples(samples, params)
+
+    def _get_decoder(self, codec_id: CodecID):
+        key = (codec_id, self._params.sample_rate)
+        if self._decoder_key != key:
+            if codec_id == CodecID.VORBIS_LIKE:
+                self._decoder = get_codec(
+                    codec_id, sample_rate=self._params.sample_rate
+                )
+            else:
+                self._decoder = get_codec(codec_id)
+            self._decoder_key = key
+        return self._decoder

@@ -1,0 +1,296 @@
+"""High-level builder: assemble a whole Ethernet Speaker deployment.
+
+The public entry point of the library::
+
+    from repro.core import EthernetSpeakerSystem
+    from repro.audio import CD_QUALITY, music
+
+    system = EthernetSpeakerSystem(bandwidth_bps=100e6)
+    producer = system.add_producer()
+    channel = system.add_channel("lobby", params=CD_QUALITY)
+    system.add_rebroadcaster(producer, channel)
+    speakers = [system.add_speaker(channel=channel) for _ in range(3)]
+    system.play_pcm(producer, music(10.0, 44100, seed=1), CD_QUALITY)
+    system.run(until=15.0)
+    print(system.skew_report(speakers))
+
+Everything is wired to one simulator/LAN; the helpers below are exactly the
+glue a test harness or example script would otherwise repeat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.audio.encodings import encode_samples
+from repro.audio.params import AudioParams, CD_QUALITY
+from repro.core.channel import ChannelConfig
+from repro.core.rebroadcaster import Rebroadcaster
+from repro.core.speaker import EthernetSpeaker
+from repro.kernel.audio import (
+    AUDIO_DRAIN,
+    AUDIO_SETINFO,
+    AudioDevice,
+    HardwareAudioDriver,
+    SpeakerSink,
+)
+from repro.kernel.machine import Machine
+from repro.kernel.vad import VadPair
+from repro.net.monitor import BandwidthMonitor
+from repro.net.segment import EthernetSegment
+from repro.sim.core import Simulator
+from repro.sim.process import Process, Sleep
+
+
+@dataclass
+class ProducerNode:
+    machine: Machine
+    vad: VadPair
+
+
+@dataclass
+class SpeakerNode:
+    machine: Machine
+    speaker: EthernetSpeaker
+    sink: SpeakerSink
+    device: AudioDevice
+
+    @property
+    def stats(self):
+        return self.speaker.stats
+
+
+class EthernetSpeakerSystem:
+    """One LAN, its producer(s), channels, and Ethernet Speakers."""
+
+    def __init__(
+        self,
+        bandwidth_bps: float = 100e6,
+        latency: float = 50e-6,
+        jitter: float = 0.0,
+        loss_rate: float = 0.0,
+        seed: int = 0,
+    ):
+        self.sim = Simulator()
+        self.lan = EthernetSegment(
+            self.sim,
+            bandwidth_bps=bandwidth_bps,
+            latency=latency,
+            jitter=jitter,
+            loss_rate=loss_rate,
+            seed=seed,
+        )
+        self.monitor = BandwidthMonitor(self.sim, self.lan)
+        self.producers: List[ProducerNode] = []
+        self.speakers: List[SpeakerNode] = []
+        self.channels: List[ChannelConfig] = []
+        self.rebroadcasters: List[Rebroadcaster] = []
+        self._next_host = 1
+        self._next_channel = 1
+        self._next_vad = 0
+
+    def _next_ip(self) -> str:
+        ip = f"10.1.{self._next_host // 250}.{self._next_host % 250 + 1}"
+        self._next_host += 1
+        return ip
+
+    # -- construction -----------------------------------------------------------
+
+    def add_producer(
+        self,
+        name: str = "",
+        cpu_freq_hz: float = 500e6,
+        vad_strategy: str = "kthread",
+        housekeeping: bool = True,
+        vlan: int = 1,
+        **vad_kwargs,
+    ) -> ProducerNode:
+        """A machine running the VAD and (later) rebroadcasters."""
+        name = name or f"producer{len(self.producers)}"
+        machine = Machine(self.sim, name, cpu_freq_hz=cpu_freq_hz)
+        machine.attach_network(self.lan, self._next_ip(), vlan=vlan)
+        vad = VadPair(machine, strategy=vad_strategy, **vad_kwargs)
+        if housekeeping:
+            machine.start_housekeeping()
+        node = ProducerNode(machine=machine, vad=vad)
+        self.producers.append(node)
+        return node
+
+    def add_channel(
+        self,
+        name: str,
+        params: AudioParams = CD_QUALITY,
+        compress: str = "auto",
+        quality: int = 10,
+        **kwargs,
+    ) -> ChannelConfig:
+        channel_id = self._next_channel
+        self._next_channel += 1
+        channel = ChannelConfig(
+            channel_id=channel_id,
+            name=name,
+            group_ip=f"239.192.0.{channel_id}",
+            port=5000 + channel_id,
+            params=params,
+            compress=compress,
+            quality=quality,
+            **kwargs,
+        )
+        self.channels.append(channel)
+        return channel
+
+    def add_rebroadcaster(
+        self,
+        producer: ProducerNode,
+        channel: ChannelConfig,
+        master_path: str = "/dev/vadm",
+        **kwargs,
+    ) -> Rebroadcaster:
+        rb = Rebroadcaster(
+            producer.machine, channel, master_path=master_path, **kwargs
+        )
+        rb.start()
+        self.rebroadcasters.append(rb)
+        return rb
+
+    def add_speaker(
+        self,
+        channel: ChannelConfig,
+        name: str = "",
+        cpu_freq_hz: float = 233e6,
+        block_seconds: float = 0.065,
+        vlan: int = 1,
+        housekeeping: bool = False,
+        start: bool = True,
+        dac_drift_ppm: float = 0.0,
+        **speaker_kwargs,
+    ) -> SpeakerNode:
+        """An Ethernet Speaker machine (EON 4000-class by default)."""
+        name = name or f"es{len(self.speakers)}"
+        machine = Machine(self.sim, name, cpu_freq_hz=cpu_freq_hz)
+        machine.attach_network(self.lan, self._next_ip(), vlan=vlan)
+        sink = SpeakerSink(name=f"{name}/speaker")
+        hw = HardwareAudioDriver(machine, sink, drift_ppm=dac_drift_ppm)
+        device = AudioDevice(machine, hw, block_seconds=block_seconds)
+        machine.register_device("/dev/audio", device)
+        if housekeeping:
+            machine.start_housekeeping()
+        speaker = EthernetSpeaker(
+            machine, channel.group_ip, channel.port, name=name,
+            **speaker_kwargs,
+        )
+        if start:
+            speaker.start()
+        node = SpeakerNode(
+            machine=machine, speaker=speaker, sink=sink, device=device
+        )
+        self.speakers.append(node)
+        return node
+
+    # -- sources ------------------------------------------------------------------
+
+    def play_pcm(
+        self,
+        producer: ProducerNode,
+        samples: np.ndarray,
+        params: AudioParams,
+        chunk_seconds: float = 0.5,
+        source_paced: bool = False,
+        slave_path: str = "/dev/vads",
+        start_after: float = 0.0,
+    ) -> Process:
+        """Run an application that writes ``samples`` to the producer's VAD.
+
+        ``source_paced=False`` models file playback (data available at
+        I/O speed); ``True`` models a live source that produces audio in
+        real time (an internet radio client).
+        """
+        data = encode_samples(samples, params)
+        return self.play_bytes(
+            producer, data, params, chunk_seconds, source_paced,
+            slave_path, start_after,
+        )
+
+    def play_bytes(
+        self,
+        producer: ProducerNode,
+        data: bytes,
+        params: AudioParams,
+        chunk_seconds: float = 0.5,
+        source_paced: bool = False,
+        slave_path: str = "/dev/vads",
+        start_after: float = 0.0,
+    ) -> Process:
+        """Like :meth:`play_pcm` for pre-encoded (or synthetic) PCM bytes."""
+        machine = producer.machine
+        chunk = params.bytes_for(chunk_seconds)
+
+        def app():
+            if start_after > 0:
+                yield Sleep(start_after)
+            fd = yield from machine.sys_open(slave_path)
+            yield from machine.sys_ioctl(fd, AUDIO_SETINFO, params)
+            for pos in range(0, len(data), chunk):
+                piece = data[pos : pos + chunk]
+                yield from machine.sys_write(fd, piece)
+                if source_paced:
+                    yield Sleep(params.duration_of(len(piece)))
+            yield from machine.sys_close(fd)
+
+        return machine.spawn(app(), name=f"{machine.name}/audio-app")
+
+    def play_synthetic(
+        self,
+        producer: ProducerNode,
+        duration: float,
+        params: AudioParams = CD_QUALITY,
+        **kwargs,
+    ) -> Process:
+        """Stream ``duration`` seconds of filler PCM (perf scenarios)."""
+        return self.play_bytes(
+            producer, bytes(params.bytes_for(duration)), params, **kwargs
+        )
+
+    # -- running & measuring --------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        return self.sim.run(until=until)
+
+    def skew_report(
+        self, speakers: Optional[Sequence[SpeakerNode]] = None
+    ) -> Dict[str, float]:
+        """Playback skew across speakers (§3.2's central claim).
+
+        For every stream position played by *all* speakers, the skew is
+        the spread of the times the corresponding samples actually left
+        each speaker's DAC.  Returns max/mean skew and the number of
+        common positions compared.
+        """
+        nodes = list(speakers if speakers is not None else self.speakers)
+        logs = []
+        for node in nodes:
+            emission = {}
+            for play_at, offset in node.stats.write_offsets:
+                t = node.sink.time_at_bytes(offset)
+                if t is not None:
+                    emission[play_at] = t
+            logs.append(emission)
+        if len(logs) < 2:
+            return {"max_skew": 0.0, "mean_skew": 0.0, "positions": 0}
+        common = set(logs[0])
+        for log in logs[1:]:
+            common &= set(log)
+        if not common:
+            return {"max_skew": 0.0, "mean_skew": 0.0, "positions": 0}
+        skews = [
+            max(log[p] for log in logs) - min(log[p] for log in logs)
+            for p in common
+        ]
+        return {
+            "max_skew": max(skews),
+            "mean_skew": float(np.mean(skews)),
+            "positions": len(common),
+        }

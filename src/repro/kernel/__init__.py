@@ -1,0 +1,52 @@
+"""A simulated OpenBSD-style kernel, enough to host the VAD.
+
+The paper's central artifact is a kernel modification: the virtual audio
+device (§2.1).  To reproduce its behaviour — including the awkward
+interaction with the hardware-independent audio driver (§3.3) — this
+package models the relevant kernel structures:
+
+* :class:`~repro.kernel.machine.Machine` — a host: CPU, device table,
+  file descriptors, processes, optional NIC.
+* syscalls (``open``/``read``/``write``/``ioctl``/``close``) that charge
+  system-domain CPU time and block exactly where a real kernel would.
+* the **hardware-independent audio driver** (:mod:`repro.kernel.audio`):
+  ring buffer, hiwat/lowat flow control, silence insertion on underrun,
+  and the audio(9) contract where the low-level driver is triggered once
+  and then drives itself from its interrupt routine.
+* a **hardware audio driver** (DMA consumption at the sample rate — the
+  "inherent rate limiting" of real hardware, §3.1) and the **VAD**
+  (:mod:`repro.kernel.vad`): a low-level driver with no hardware behind
+  it, available in both of the paper's workaround flavours (modified
+  independent driver, or a kernel thread that fires the interrupt
+  routine).
+"""
+
+from repro.kernel.machine import Machine
+from repro.kernel.devices import CharDevice, DeviceError
+from repro.kernel.audio import (
+    AUDIO_DRAIN,
+    AUDIO_FLUSH,
+    AUDIO_GETINFO,
+    AUDIO_SETINFO,
+    AudioDevice,
+    HardwareAudioDriver,
+    SpeakerSink,
+)
+from repro.kernel.mic import MicDevice
+from repro.kernel.vad import VadPair, VadRecord
+
+__all__ = [
+    "Machine",
+    "CharDevice",
+    "DeviceError",
+    "AudioDevice",
+    "HardwareAudioDriver",
+    "SpeakerSink",
+    "AUDIO_SETINFO",
+    "AUDIO_GETINFO",
+    "AUDIO_DRAIN",
+    "AUDIO_FLUSH",
+    "MicDevice",
+    "VadPair",
+    "VadRecord",
+]

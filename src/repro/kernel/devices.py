@@ -1,0 +1,52 @@
+"""Character-device interface for the simulated kernel.
+
+Drivers implement the subset of the cdevsw entry points the audio stack
+needs.  ``read``/``write``/``ioctl`` are generator functions (they may
+block the calling process); ``open``/``close`` are plain calls.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class DeviceError(Exception):
+    """EIO and friends."""
+
+
+class CharDevice:
+    """Base character device.  Subclasses override what they support."""
+
+    def open(self, machine, flags: str = "rw") -> Any:
+        """Return a per-open handle (any object); called on sys_open."""
+        return self
+
+    def close(self, handle: Any) -> None:
+        pass
+
+    def write(self, handle: Any, data: bytes):
+        """Generator: write ``data``; returns bytes accepted."""
+        raise DeviceError("device is not writable")
+        yield  # pragma: no cover
+
+    def read(self, handle: Any, nbytes: int):
+        """Generator: returns up to ``nbytes`` of data."""
+        raise DeviceError("device is not readable")
+        yield  # pragma: no cover
+
+    def ioctl(self, handle: Any, cmd: int, arg: Any = None):
+        """Generator: device control; returns a command-specific value."""
+        raise DeviceError(f"unsupported ioctl {cmd:#x}")
+        yield  # pragma: no cover
+
+
+class NullDevice(CharDevice):
+    """/dev/null: accepts everything, returns nothing."""
+
+    def write(self, handle, data):
+        return len(data)
+        yield  # pragma: no cover
+
+    def read(self, handle, nbytes):
+        return b""
+        yield  # pragma: no cover

@@ -1,0 +1,120 @@
+"""Microphone capture device (§5.2).
+
+The EON 4000 has a mic input; the auto-volume plan is that the ES
+"compare its own output against the ambient levels" through it.  This is
+the record-side audio path: a capture ring filled at the sample rate from
+the acoustic :class:`~repro.audio.room.Room`, read by applications with
+plain blocking ``read()`` calls.
+
+The synthesised mic waveform is ambient-level-scaled noise plus the
+speaker's coupled output level — enough for any RMS/level-based
+processing, which is what volume controllers do.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.audio.encodings import encode_samples
+from repro.audio.params import AudioParams
+from repro.audio.room import Room
+from repro.kernel.audio import AUDIO_GETINFO, AUDIO_SETINFO
+from repro.kernel.devices import CharDevice, DeviceError
+from repro.sim.resources import Signal
+
+
+class MicDevice(CharDevice):
+    """``/dev/mic``: blocking capture of the room's sound field."""
+
+    def __init__(
+        self,
+        machine,
+        room: Room,
+        params: AudioParams | None = None,
+        block_seconds: float = 0.05,
+        ring_blocks: int = 16,
+        seed: int = 0,
+    ):
+        self.machine = machine
+        self.room = room
+        self.params = params or AudioParams()
+        self.block_seconds = block_seconds
+        self.ring_blocks = ring_blocks
+        self._rng = np.random.default_rng(seed)
+        self._chunks: deque[bytes] = deque()
+        self._level = 0
+        self._data = Signal("mic/data")
+        self._capturing = False
+        self.blocks_captured = 0
+        self.overruns = 0
+
+    # -- capture engine ---------------------------------------------------------
+
+    def open(self, machine, flags: str = "rw"):
+        if not self._capturing:
+            self._capturing = True
+            # the first block completes after one block of sound exists
+            self.machine.sim.schedule(self.block_seconds, self._tick)
+        return self
+
+    def close(self, handle) -> None:
+        self._capturing = False
+
+    def _tick(self) -> None:
+        if not self._capturing:
+            return
+        now = self.machine.sim.now
+        frames = self.params.bytes_for(self.block_seconds) // \
+            self.params.frame_bytes
+        ambient = self.room.ambient_rms(now)
+        own = self.room.coupling * self.room.speaker_rms
+        # noise at the combined power level the mic would measure
+        level = float(np.sqrt(ambient**2 + own**2))
+        samples = np.clip(
+            self._rng.standard_normal(frames) * level, -1.0, 1.0
+        )
+        block = encode_samples(samples, self.params)
+        if self._level >= self.ring_blocks * len(block):
+            self.overruns += 1  # reader too slow: oldest data lost
+            self._chunks.popleft()
+            self._level -= len(block)
+        self._chunks.append(block)
+        self._level += len(block)
+        self.blocks_captured += 1
+        self.machine.cpu.charge(self.machine.intr_cycles, domain="intr")
+        self._data.fire()
+        self.machine.sim.schedule(self.block_seconds, self._tick)
+
+    # -- device entry points ------------------------------------------------------
+
+    def read(self, handle, nbytes: int):
+        """Blocking capture read: waits until ``nbytes`` are available."""
+        while self._level < nbytes:
+            yield self._data.wait()
+        parts = []
+        need = nbytes
+        while need > 0:
+            chunk = self._chunks.popleft()
+            if len(chunk) <= need:
+                parts.append(chunk)
+                need -= len(chunk)
+            else:
+                parts.append(chunk[:need])
+                self._chunks.appendleft(chunk[need:])
+                need = 0
+        data = b"".join(parts)
+        self._level -= len(data)
+        return data
+
+    def ioctl(self, handle, cmd: int, arg=None):
+        if cmd == AUDIO_SETINFO:
+            if not isinstance(arg, AudioParams):
+                raise DeviceError("AUDIO_SETINFO needs AudioParams")
+            self.params = arg
+            return None
+        if cmd == AUDIO_GETINFO:
+            return {"params": self.params, "level": self._level}
+        raise DeviceError(f"mic: unsupported ioctl {cmd:#x}")
+        yield  # pragma: no cover

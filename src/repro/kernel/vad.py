@@ -1,0 +1,243 @@
+"""The Virtual Audio Device: a master/slave pseudo-device pair (§2.1).
+
+The slave (``/dev/vads``) is a complete ``audio(4)`` device — applications
+configure it with ioctls and write PCM to it, none the wiser that no
+hardware exists.  Everything written to the slave, *including the ioctl
+configuration*, surfaces on the master (``/dev/vadm``) as a stream of
+:class:`VadRecord`\\ s, so "the application accessing vadm can always decode
+the audio stream correctly" (§2.1.1).
+
+Because there is no DMA engine, the high-level driver's trigger-once
+contract breaks (§3.3).  Both of the paper's workarounds are implemented:
+
+* ``strategy="kthread"`` — a kernel thread pulls blocks from the ring and
+  feeds the master queue (or a kernel-resident consumer), standing in for
+  the hardware interrupt;
+* ``strategy="modified"`` — the "modified independent audio driver": the
+  write path hands blocks straight through to the master queue.
+
+Neither imposes any rate limit: data moves as fast as it is written and
+read — the property that makes the user-level rate limiter necessary
+(§3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from repro.audio.params import AudioParams
+from repro.kernel.audio import AUDIO_SETINFO, AudioDevice, LowLevelAudioDriver
+from repro.kernel.devices import CharDevice
+from repro.sim.process import Process
+from repro.sim.resources import Queue, QueueClosed
+
+
+class VadRecord:
+    """One item read from the master side: audio data or configuration."""
+
+    __slots__ = ("kind", "params", "payload", "seq")
+
+    def __init__(self, kind: str, params=None, payload: bytes = b"", seq=0):
+        self.kind = kind
+        self.params = params
+        self.payload = payload
+        self.seq = seq
+
+    @classmethod
+    def config(cls, params: AudioParams, seq: int = 0) -> "VadRecord":
+        return cls("config", params=params, seq=seq)
+
+    @classmethod
+    def data(cls, payload: bytes, seq: int = 0) -> "VadRecord":
+        return cls("data", payload=payload, seq=seq)
+
+    @property
+    def copy_bytes(self) -> int:
+        """Bytes copied out to userland when this record is read."""
+        return len(self.payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        if self.kind == "config":
+            return f"<VadRecord config {self.params.describe()}>"
+        return f"<VadRecord data {len(self.payload)}B seq={self.seq}>"
+
+
+class _VadLowLevel(LowLevelAudioDriver):
+    """The low-level half with nothing behind it (strategy: kthread)."""
+
+    def __init__(self, pair: "VadPair"):
+        self.pair = pair
+
+    def trigger_output(self, device: AudioDevice) -> None:
+        # The independent driver calls this exactly once.  With hardware
+        # this would start a self-sustaining DMA+interrupt loop; here we
+        # start the pump kernel thread instead (§3.3).
+        self.pair._ensure_kthread()
+
+    def halt_output(self) -> None:
+        pass
+
+
+class VadSlaveDevice(AudioDevice):
+    """``/dev/vads``: looks exactly like an audio device to applications."""
+
+    def __init__(self, pair: "VadPair", **kwargs):
+        self.pair = pair
+        super().__init__(
+            pair.machine, _VadLowLevel(pair), name="vads", **kwargs
+        )
+        self._pending = b""  # modified-strategy partial block
+
+    def write(self, handle, data: bytes):
+        if self.pair.strategy == "kthread":
+            count = yield from super().write(handle, data)
+            return count
+        # "modified independent driver": the write path itself moves
+        # blocks to the master, no interrupt machinery involved.
+        self.bytes_written += len(data)
+        buffered = self._pending + bytes(data)
+        offset = 0
+        while len(buffered) - offset >= self.blocksize:
+            block = buffered[offset : offset + self.blocksize]
+            offset += self.blocksize
+            yield from self.pair._emit(self.pair._make_data(block))
+        self._pending = buffered[offset:]
+        return len(data)
+
+    def ioctl(self, handle, cmd: int, arg=None):
+        if cmd == AUDIO_SETINFO:
+            # flush buffered data first so records stay in write order and
+            # old blocks are still described by the old configuration
+            while self._level > 0 or self.pair._in_flight > 0:
+                yield self._drained.wait()
+            if self._pending:
+                yield from self.pair._emit(self.pair._make_data(self._pending))
+                self._pending = b""
+            result = yield from super().ioctl(handle, cmd, arg)
+            yield from self.pair._emit(VadRecord.config(arg))
+            return result
+        result = yield from super().ioctl(handle, cmd, arg)
+        return result
+
+    def close(self, handle) -> None:
+        super().close(handle)
+        if self._pending:
+            # last partial block of a modified-strategy stream
+            if self.pair.master_queue.put_nowait(
+                self.pair._make_data(self._pending)
+            ):
+                self._pending = b""
+
+
+class VadMasterDevice(CharDevice):
+    """``/dev/vadm``: yields :class:`VadRecord` objects to its reader.
+
+    Deviation from the byte-stream a real character device would give:
+    reads return framed records directly.  The framing a real master
+    device would need (length-prefixed record headers) is pure
+    serialisation noise for the experiments, so it is elided.
+    """
+
+    def __init__(self, pair: "VadPair"):
+        self.pair = pair
+
+    def read(self, handle, nbytes: int):
+        record = yield self.pair.master_queue.get()
+        return record
+
+
+class VadPair:
+    """One virtual audio device: slave + master + the plumbing between.
+
+    Parameters
+    ----------
+    strategy:
+        ``"kthread"`` or ``"modified"`` (§3.3's two workarounds).
+    kernel_consumer:
+        optional generator function ``f(record)``; when given, the kernel
+        thread feeds records to it *inside the kernel* instead of the
+        master queue — the paper's preliminary in-kernel streaming design.
+    queue_blocks:
+        master queue bound; a slow master reader eventually blocks the
+        writing application (flow control, not unbounded kernel memory).
+    """
+
+    #: cycles the pump charges per block moved (buffer bookkeeping)
+    pump_cycles = 4000.0
+
+    def __init__(
+        self,
+        machine,
+        strategy: str = "kthread",
+        queue_blocks: int = 16,
+        kernel_consumer: Optional[Callable[[VadRecord], Generator]] = None,
+        block_seconds: float = 0.065,
+        ring_blocks: int = 8,
+        slave_path: str = "/dev/vads",
+        master_path: str = "/dev/vadm",
+    ):
+        if strategy not in ("kthread", "modified"):
+            raise ValueError(f"unknown VAD strategy: {strategy}")
+        if strategy == "modified" and kernel_consumer is not None:
+            raise ValueError("kernel_consumer requires the kthread strategy")
+        self.machine = machine
+        self.strategy = strategy
+        self.kernel_consumer = kernel_consumer
+        self.master_queue = Queue(capacity=queue_blocks, name="vadm-queue")
+        self.slave = VadSlaveDevice(
+            self, block_seconds=block_seconds, ring_blocks=ring_blocks
+        )
+        self.master = VadMasterDevice(self)
+        self._kthread: Optional[Process] = None
+        self._seq = 0
+        self._in_flight = 0
+        self.blocks_pumped = 0
+        machine.register_device(slave_path, self.slave)
+        machine.register_device(master_path, self.master)
+
+    def _make_data(self, payload: bytes) -> VadRecord:
+        self._seq += 1
+        self.blocks_pumped += 1
+        return VadRecord.data(payload, seq=self._seq)
+
+    def _emit(self, record: VadRecord):
+        """Generator: route a record to the kernel consumer or the master."""
+        if self.kernel_consumer is not None:
+            yield from self.kernel_consumer(record)
+        else:
+            yield self.master_queue.put(record)
+
+    def _ensure_kthread(self) -> None:
+        if self._kthread is not None and self._kthread.alive:
+            return
+        self._kthread = self.machine.spawn(
+            self._pump(), name=f"{self.machine.name}/vad-kthread"
+        )
+
+    def _pump(self):
+        """The kernel thread that replaces the hardware interrupt."""
+        slave = self.slave
+        machine = self.machine
+        while True:
+            block = slave.take_block()
+            if block is None:
+                yield slave.wait_for_data()
+                continue
+            self._in_flight += 1
+            try:
+                yield machine.cpu.run(self.pump_cycles, domain="sys")
+                record = self._make_data(block)
+                try:
+                    yield from self._emit(record)
+                except QueueClosed:
+                    return
+            finally:
+                self._in_flight -= 1
+                if self._in_flight == 0 and slave.level == 0:
+                    slave._drained.fire()
+
+    def close(self) -> None:
+        """Tear the pair down; pending reads see QueueClosed."""
+        self.master_queue.close()
+        if self._kthread is not None:
+            self._kthread.kill()

@@ -1,0 +1,12 @@
+"""Measurement utilities mirroring the paper's instrumentation.
+
+Figure 4 plots userland CPU usage and Figure 5 context-switch rates, both
+"gathered by vmstat over a sixty second period at one second intervals".
+:class:`~repro.metrics.vmstat.VmstatSampler` is that tool for simulated
+machines.
+"""
+
+from repro.metrics.vmstat import VmstatSample, VmstatSampler
+from repro.metrics.report import ascii_table, series_summary
+
+__all__ = ["VmstatSampler", "VmstatSample", "ascii_table", "series_summary"]

@@ -1,0 +1,37 @@
+"""Plain-text tables for benchmark output (paper-vs-measured rows)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def ascii_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render rows as a fixed-width table (numbers get 3 decimals)."""
+    def fmt(cell) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def series_summary(values: Sequence[float]) -> dict:
+    """min/mean/max of a series (for time-series figures)."""
+    if not values:
+        return {"min": 0.0, "mean": 0.0, "max": 0.0}
+    return {
+        "min": min(values),
+        "mean": sum(values) / len(values),
+        "max": max(values),
+    }

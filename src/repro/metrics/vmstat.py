@@ -1,0 +1,97 @@
+"""A vmstat-alike: periodic snapshots of a machine's CPU counters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.kernel.machine import Machine
+from repro.sim.process import Process, Sleep
+
+
+@dataclass(frozen=True)
+class VmstatSample:
+    """One sampling interval's deltas."""
+
+    time: float
+    context_switches: int  # switches during the interval
+    user_pct: float
+    sys_pct: float
+    intr_pct: float
+    idle_pct: float
+
+    @property
+    def busy_pct(self) -> float:
+        return self.user_pct + self.sys_pct + self.intr_pct
+
+
+class VmstatSampler:
+    """Samples a machine's CPU at a fixed interval, like ``vmstat 1``.
+
+    The sampling process itself is run *outside* the sampled machine's CPU
+    (a serial-console observer, so to speak): it costs the target nothing,
+    which keeps the measurement honest.
+    """
+
+    def __init__(self, machine: Machine, interval: float = 1.0):
+        self.machine = machine
+        self.interval = interval
+        self.samples: List[VmstatSample] = []
+        self._proc: Optional[Process] = None
+
+    def start(self) -> Process:
+        self._proc = Process.spawn(
+            self.machine.sim, self._run(), name=f"vmstat-{self.machine.name}"
+        )
+        return self._proc
+
+    def stop(self) -> None:
+        if self._proc is not None:
+            self._proc.kill()
+
+    def _run(self):
+        stats = self.machine.cpu.stats
+        prev = stats.snapshot()
+        while True:
+            yield Sleep(self.interval)
+            snap = stats.snapshot()
+            self.samples.append(
+                VmstatSample(
+                    time=self.machine.sim.now,
+                    context_switches=(
+                        snap["context_switches"] - prev["context_switches"]
+                    ),
+                    user_pct=self._pct(snap, prev, "user"),
+                    sys_pct=self._pct(snap, prev, "sys"),
+                    intr_pct=self._pct(snap, prev, "intr"),
+                    idle_pct=max(
+                        0.0,
+                        100.0
+                        - self._pct(snap, prev, "user")
+                        - self._pct(snap, prev, "sys")
+                        - self._pct(snap, prev, "intr"),
+                    ),
+                )
+            )
+            prev = snap
+
+    def _pct(self, snap: dict, prev: dict, domain: str) -> float:
+        return 100.0 * (snap[domain] - prev[domain]) / self.interval
+
+    # -- aggregates ---------------------------------------------------------------
+
+    def mean_context_switch_rate(self) -> float:
+        """Mean switches per interval — the 'mean' in Figure 5's legend."""
+        if not self.samples:
+            return 0.0
+        return sum(s.context_switches for s in self.samples) / len(self.samples)
+
+    def mean_user_pct(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(s.user_pct for s in self.samples) / len(self.samples)
+
+    def mean_busy_pct(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(s.busy_pct for s in self.samples) / len(self.samples)

@@ -1,0 +1,37 @@
+"""Management and automation extensions the paper plans.
+
+* :mod:`repro.mgmt.catalog` — the MFTP-inspired out-of-band channel
+  catalog (§4.3): "a separate multicast group to announce the availability
+  of data sets on other multicast groups", so "the user can see which
+  programs are being multicast, rather than having to switch channels to
+  monitor the audio transmissions".  Includes the listener-driven
+  suspension idea (the MSNIP stand-in).
+* :mod:`repro.mgmt.remote` — channel selection and central override
+  (§5.3): "movies shown on TV sets on airplane seats can be overridden by
+  crew announcements".
+* :mod:`repro.mgmt.snmp` — the SNMP MIB sketch of §5.3: an agent on each
+  speaker, a manager that can walk and set it.
+* :mod:`repro.mgmt.volume` — automatic volume from ambient noise (§5.2),
+  using the microphone model in :mod:`repro.audio.room`.
+"""
+
+from repro.mgmt.catalog import CatalogAnnouncer, CatalogListener, CATALOG_GROUP, CATALOG_PORT
+from repro.mgmt.remote import ControlStation, ManagementAgent
+from repro.mgmt.remotecontrol import RemoteControl
+from repro.mgmt.snmp import MibTree, SnmpAgent, SnmpManager, ES_MIB_BASE
+from repro.mgmt.volume import AutoVolumeController
+
+__all__ = [
+    "CatalogAnnouncer",
+    "CatalogListener",
+    "CATALOG_GROUP",
+    "CATALOG_PORT",
+    "ControlStation",
+    "ManagementAgent",
+    "RemoteControl",
+    "MibTree",
+    "SnmpAgent",
+    "SnmpManager",
+    "ES_MIB_BASE",
+    "AutoVolumeController",
+]

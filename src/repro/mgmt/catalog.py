@@ -1,0 +1,173 @@
+"""The out-of-band channel catalog (§4.3, after StarBurst MFTP).
+
+The announcer multicasts the list of live channels on a dedicated group;
+speakers learn what is playable without joining every stream.  The
+announcer also implements the MSNIP-flavoured economy measure: a channel
+whose listener count (reported out of band by the management layer) is
+zero can be suspended "if it notices that there are no listeners".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.channel import ChannelConfig
+from repro.core.protocol import (
+    AnnounceEntry,
+    AnnouncePacket,
+    ProtocolError,
+    parse_packet,
+)
+from repro.sim.process import Process, Sleep
+
+CATALOG_GROUP = "239.192.255.1"
+CATALOG_PORT = 4999
+
+
+class CatalogAnnouncer:
+    """Producer-side: periodically advertise the live channels."""
+
+    def __init__(self, machine, interval: float = 1.0,
+                 group: str = CATALOG_GROUP, port: int = CATALOG_PORT,
+                 authenticator=None):
+        self.machine = machine
+        self.interval = interval
+        self.group = group
+        self.port = port
+        #: §5.1: sign announcements so "fake advertisements from
+        #: impostors" fail verification at the speakers
+        self.authenticator = authenticator
+        self._channels: Dict[int, ChannelConfig] = {}
+        self._suspended: set[int] = set()
+        self.listener_counts: Dict[int, int] = {}
+        self.announcements_sent = 0
+        self._seq = 0
+
+    def add_channel(self, channel: ChannelConfig) -> None:
+        self._channels[channel.channel_id] = channel
+
+    def remove_channel(self, channel_id: int) -> None:
+        self._channels.pop(channel_id, None)
+
+    def suspend(self, channel_id: int) -> None:
+        """MSNIP-style: stop advertising a listenerless channel."""
+        self._suspended.add(channel_id)
+
+    def resume(self, channel_id: int) -> None:
+        self._suspended.discard(channel_id)
+
+    def report_listeners(self, channel_id: int, count: int) -> None:
+        """Out-of-band listener census; zero listeners suspends."""
+        self.listener_counts[channel_id] = count
+        if count == 0:
+            self.suspend(channel_id)
+        else:
+            self.resume(channel_id)
+
+    def live_entries(self) -> List[AnnounceEntry]:
+        return [
+            AnnounceEntry(
+                channel_id=ch.channel_id,
+                group_ip=ch.group_ip,
+                port=ch.port,
+                codec_id=ch.codec_id,
+                name=ch.name,
+            )
+            for ch in self._channels.values()
+            if ch.channel_id not in self._suspended
+        ]
+
+    def start(self) -> Process:
+        return self.machine.spawn(self._run(), name="catalog-announcer")
+
+    def _run(self):
+        sock = self.machine.net.socket()
+        while True:
+            self._seq += 1
+            packet = AnnouncePacket(
+                seq=self._seq, entries=tuple(self.live_entries())
+            )
+            yield self.machine.cpu.run(5_000, domain="user")
+            wire = packet.encode()
+            if self.authenticator is not None:
+                yield self.machine.cpu.run(
+                    self.authenticator.sign_cycles(len(wire)), domain="user"
+                )
+                wire = self.authenticator.wrap(wire)
+            sock.sendto(wire, (self.group, self.port))
+            self.announcements_sent += 1
+            yield Sleep(self.interval)
+
+
+@dataclass
+class CatalogEntryState:
+    entry: AnnounceEntry
+    last_seen: float
+
+
+class CatalogListener:
+    """Speaker-side: track the advertised channels; entries expire."""
+
+    def __init__(self, machine, expiry: float = 5.0,
+                 group: str = CATALOG_GROUP, port: int = CATALOG_PORT,
+                 trusted_names: Optional[set] = None, verifier=None):
+        self.machine = machine
+        self.expiry = expiry
+        self.group = group
+        self.port = port
+        #: optional allow-list against impostor advertisements (§5.1)
+        self.trusted_names = trusted_names
+        #: optional signature verification (the proper §5.1 answer)
+        self.verifier = verifier
+        self.channels: Dict[int, CatalogEntryState] = {}
+        self.rejected = 0
+
+    def start(self) -> Process:
+        return self.machine.spawn(self._run(), name="catalog-listener")
+
+    def live_channels(self) -> List[AnnounceEntry]:
+        now = self.machine.sim.now
+        return [
+            st.entry
+            for st in self.channels.values()
+            if now - st.last_seen <= self.expiry
+        ]
+
+    def find(self, name: str) -> Optional[AnnounceEntry]:
+        for entry in self.live_channels():
+            if entry.name == name:
+                return entry
+        return None
+
+    def _run(self):
+        sock = self.machine.net.socket(self.port)
+        sock.join_multicast(self.group)
+        while True:
+            msg = yield sock.recv()
+            wire = msg.payload
+            if self.verifier is not None:
+                yield self.machine.cpu.run(
+                    self.verifier.verify_cycles(len(wire)), domain="user"
+                )
+                wire = self.verifier.unwrap(wire)
+                if wire is None:
+                    self.rejected += 1
+                    continue
+            try:
+                packet = parse_packet(wire)
+            except ProtocolError:
+                continue
+            if not isinstance(packet, AnnouncePacket):
+                continue
+            now = self.machine.sim.now
+            for entry in packet.entries:
+                if (
+                    self.trusted_names is not None
+                    and entry.name not in self.trusted_names
+                ):
+                    self.rejected += 1
+                    continue
+                self.channels[entry.channel_id] = CatalogEntryState(
+                    entry=entry, last_seen=now
+                )

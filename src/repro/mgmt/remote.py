@@ -1,0 +1,165 @@
+"""Channel selection and central override (§5.3).
+
+"All ESs within an administrative domain may need to be controlled
+centrally (e.g., movies shown on TV sets on airplane seats can be
+overridden by crew announcements)."
+
+The :class:`ControlStation` multicasts management commands; each speaker
+runs a :class:`ManagementAgent` that executes them: tune to a named
+channel, set volume, or override every speaker onto an announcement
+channel and restore them afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.platform.archive import pack_archive, unpack_archive
+from repro.sim.process import Process, Timeout
+
+MGMT_GROUP = "239.192.255.2"
+MGMT_PORT = 4998
+
+
+class ControlStation:
+    """The central console."""
+
+    def __init__(self, machine, group: str = MGMT_GROUP, port: int = MGMT_PORT):
+        self.machine = machine
+        self.group = group
+        self.port = port
+        self._sock = None
+        self._seq = 0
+
+    def _send(self, fields: Dict[str, bytes]) -> None:
+        if self._sock is None:
+            self._sock = self.machine.net.socket()
+        self._seq += 1
+        fields["seq"] = str(self._seq).encode()
+        self._sock.sendto(pack_archive(fields), (self.group, self.port))
+
+    def tune_all(self, group_ip: str, port: int) -> None:
+        self._send({
+            "cmd": b"tune",
+            "group": group_ip.encode(),
+            "port": str(port).encode(),
+        })
+
+    def override(self, group_ip: str, port: int) -> None:
+        """Crew announcement: every speaker switches, remembering where
+        it was."""
+        self._send({
+            "cmd": b"override",
+            "group": group_ip.encode(),
+            "port": str(port).encode(),
+        })
+
+    def release(self) -> None:
+        """End of announcement: speakers return to their prior channel."""
+        self._send({"cmd": b"release"})
+
+    def set_volume(self, gain: float) -> None:
+        self._send({"cmd": b"volume", "gain": repr(gain).encode()})
+
+    def census(self, group_ip: str, port: int, window: float = 0.5):
+        """Generator: count the speakers tuned to a channel.
+
+        The MSNIP stand-in (§4.3): the station polls, tuned speakers
+        answer, and the producer can suspend a channel nobody reports
+        for.  (Real MSNIP asks the first-hop routers instead; the
+        listener-count semantics are the same.)
+        """
+        reply_sock = self.machine.net.socket()
+        self._seq += 1
+        self._sock = self._sock or self.machine.net.socket()
+        self._sock = self._sock
+        fields = {
+            "cmd": b"census",
+            "seq": str(self._seq).encode(),
+            "group": group_ip.encode(),
+            "port": str(port).encode(),
+            "reply_ip": self.machine.net.ip.encode(),
+            "reply_port": str(reply_sock.port).encode(),
+        }
+        self._sock.sendto(pack_archive(fields), (self.group, self.port))
+        count = 0
+        deadline = self.machine.sim.now + window
+        while True:
+            remaining = deadline - self.machine.sim.now
+            if remaining <= 0:
+                break
+            try:
+                yield Timeout(reply_sock.recv(), remaining)
+                count += 1
+            except TimeoutError:
+                break
+        reply_sock.close()
+        return count
+
+
+class ManagementAgent:
+    """Per-speaker command executor."""
+
+    def __init__(self, speaker, group: str = MGMT_GROUP, port: int = MGMT_PORT):
+        self.speaker = speaker
+        self.machine = speaker.machine
+        self.group = group
+        self.port = port
+        self.commands_executed = 0
+        self._saved: Optional[tuple] = None
+
+    def start(self) -> Process:
+        return self.machine.spawn(self._run(), name="mgmt-agent")
+
+    def _run(self):
+        sock = self.machine.net.socket(self.port)
+        sock.join_multicast(self.group)
+        while True:
+            msg = yield sock.recv()
+            try:
+                fields = unpack_archive(msg.payload)
+            except ValueError:
+                continue
+            yield self.machine.cpu.run(10_000, domain="user")
+            if fields.get("cmd") == b"census":
+                self._answer_census(sock, fields)
+            else:
+                self._execute(fields)
+
+    def _answer_census(self, sock, fields: Dict[str, bytes]) -> None:
+        tuned_to = (self.speaker.group_ip, self.speaker.port)
+        asked = (
+            fields.get("group", b"").decode(),
+            int(fields.get("port", b"0").decode() or 0),
+        )
+        if tuned_to == asked:
+            sock.sendto(
+                b"listening",
+                (fields["reply_ip"].decode(),
+                 int(fields["reply_port"].decode())),
+            )
+            self.commands_executed += 1
+
+    def _execute(self, fields: Dict[str, bytes]) -> None:
+        cmd = fields.get("cmd", b"")
+        speaker = self.speaker
+        if cmd == b"tune":
+            speaker.retune(
+                fields["group"].decode(), int(fields["port"].decode())
+            )
+        elif cmd == b"override":
+            if self._saved is None:
+                self._saved = (speaker.group_ip, speaker.port)
+            speaker.retune(
+                fields["group"].decode(), int(fields["port"].decode())
+            )
+        elif cmd == b"release":
+            if self._saved is not None:
+                group_ip, port = self._saved
+                self._saved = None
+                speaker.retune(group_ip, port)
+        elif cmd == b"volume":
+            speaker.gain = float(fields["gain"].decode())
+        else:
+            return
+        self.commands_executed += 1

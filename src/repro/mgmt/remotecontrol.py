@@ -1,0 +1,85 @@
+"""The local user interface: a remote control per speaker (§5.3).
+
+"This implies the ability to receive input from the user (e.g., some
+remote control device)."  The remote cycles through whatever the catalog
+currently advertises (§4.3's whole point: "the user can see which
+programs are being multicast, rather than having to switch channels to
+monitor the audio transmissions"), and remembers the last selection in
+NVRAM so a rebooted speaker returns to it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.protocol import AnnounceEntry
+from repro.mgmt.catalog import CatalogListener
+
+NVRAM_CHANNEL_KEY = "last_channel"
+
+
+class RemoteControl:
+    """Channel up/down buttons wired to a speaker and a catalog view."""
+
+    def __init__(self, speaker, catalog: CatalogListener,
+                 nvram=None):
+        self.speaker = speaker
+        self.catalog = catalog
+        self.nvram = nvram
+        self.presses = 0
+
+    def _sorted_channels(self) -> List[AnnounceEntry]:
+        return sorted(self.catalog.live_channels(),
+                      key=lambda e: e.channel_id)
+
+    def current_index(self) -> Optional[int]:
+        tuned = (self.speaker.group_ip, self.speaker.port)
+        for i, entry in enumerate(self._sorted_channels()):
+            if (entry.group_ip, entry.port) == tuned:
+                return i
+        return None
+
+    def channel_up(self) -> Optional[AnnounceEntry]:
+        return self._step(+1)
+
+    def channel_down(self) -> Optional[AnnounceEntry]:
+        return self._step(-1)
+
+    def select(self, name: str) -> Optional[AnnounceEntry]:
+        """Direct selection by advertised name."""
+        entry = self.catalog.find(name)
+        if entry is not None:
+            self._tune(entry)
+        return entry
+
+    def _step(self, direction: int) -> Optional[AnnounceEntry]:
+        channels = self._sorted_channels()
+        if not channels:
+            return None
+        index = self.current_index()
+        if index is None:
+            entry = channels[0]
+        else:
+            entry = channels[(index + direction) % len(channels)]
+        self._tune(entry)
+        return entry
+
+    def _tune(self, entry: AnnounceEntry) -> None:
+        self.presses += 1
+        self.speaker.retune(entry.group_ip, entry.port)
+        if self.nvram is not None:
+            self.nvram.store(
+                NVRAM_CHANNEL_KEY,
+                f"{entry.group_ip}:{entry.port}".encode(),
+            )
+
+    def restore_last_channel(self) -> bool:
+        """After a reboot: return to the channel stored in NVRAM."""
+        if self.nvram is None:
+            return False
+        stored = self.nvram.load(NVRAM_CHANNEL_KEY)
+        if stored is None:
+            return False
+        group_ip, port = stored.decode().split(":")
+        self.speaker.retune(group_ip, int(port))
+        return True

@@ -1,0 +1,138 @@
+"""Automatic volume control from ambient noise (§5.2).
+
+"One example will be to set the volume level automatically depending on
+the ambient noise level and the type of audio stream.  So for background
+music the ES would lower the volume if the area is quiet while ensuring
+that audio segments recorded at different volume levels produce the same
+sound levels.  Alternatively, if an announcement is being made, then the
+volume should be increased if there is a lot of background noise."
+
+"This input allows the ES to compare its own output against the ambient
+levels": the controller only sees the microphone; it estimates the
+ambient by subtracting its own (known) output contribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.audio.room import Room
+from repro.sim.process import Process, Sleep
+
+
+@dataclass
+class VolumePolicy:
+    """Targets per stream type."""
+
+    #: music: output level ramps between these as ambient goes 0 -> loud
+    music_quiet_level: float = 0.08
+    music_noisy_level: float = 0.35
+    #: ambient level considered "loud" for the music ramp
+    ambient_ref: float = 0.4
+    #: announcements: keep output this factor above the ambient level
+    announce_snr_factor: float = 2.5
+    announce_min_level: float = 0.25
+    max_gain: float = 8.0
+    #: slew limit per adjustment (fraction of current gain)
+    slew: float = 0.5
+
+
+class AutoVolumeController:
+    """Periodic gain adjustment from the (simulated) microphone."""
+
+    def __init__(
+        self,
+        speaker,
+        room: Room,
+        mode: str = "music",
+        interval: float = 0.5,
+        policy: VolumePolicy | None = None,
+        mic_path: str | None = None,
+    ):
+        if mode not in ("music", "announcement"):
+            raise ValueError(f"unknown mode: {mode}")
+        self.speaker = speaker
+        self.room = room
+        self.mode = mode
+        self.interval = interval
+        self.policy = policy or VolumePolicy()
+        #: when set, the controller reads the actual capture device
+        #: (:class:`repro.kernel.mic.MicDevice`) instead of querying the
+        #: room model directly — the §5.2 mic-input path
+        self.mic_path = mic_path
+        self.adjustments = 0
+        #: (time, ambient estimate, gain) history for the experiments
+        self.history: List[Tuple[float, float, float]] = []
+
+    def start(self) -> Process:
+        return self.speaker.machine.spawn(
+            self._run(), name="auto-volume"
+        )
+
+    def estimate_ambient(self) -> float:
+        """Mic level minus our own contribution (power domain)."""
+        mic = self.room.mic_rms(self.speaker.machine.sim.now)
+        own = self.room.coupling * self.speaker.last_output_rms * self.speaker_active()
+        return max(0.0, mic**2 - own**2) ** 0.5
+
+    def speaker_active(self) -> float:
+        return 1.0 if self.speaker.stats.played else 0.0
+
+    def target_level(self, ambient: float) -> float:
+        p = self.policy
+        if self.mode == "music":
+            # quiet room -> quiet music; noisy room -> louder, capped
+            ramp = min(1.0, ambient / p.ambient_ref)
+            return p.music_quiet_level + ramp * (
+                p.music_noisy_level - p.music_quiet_level
+            )
+        return max(p.announce_min_level, ambient * p.announce_snr_factor)
+
+    def _mic_ambient(self, fd):
+        """Generator: read the capture device, estimate the ambient."""
+        import numpy as np
+
+        from repro.audio.encodings import decode_samples
+        from repro.kernel.audio import AUDIO_GETINFO
+
+        machine = self.speaker.machine
+        info = yield from machine.sys_ioctl(fd, AUDIO_GETINFO)
+        params = info["params"]
+        data = yield from machine.sys_read(fd, params.bytes_for(0.1))
+        samples = decode_samples(data, params)
+        mic_rms = float(np.sqrt(np.mean(np.square(samples))))
+        own = self.room.coupling * self.speaker.last_output_rms \
+            * self.speaker_active()
+        return max(0.0, mic_rms**2 - own**2) ** 0.5
+
+    def _run(self):
+        speaker = self.speaker
+        mic_fd = None
+        if self.mic_path is not None:
+            mic_fd = yield from speaker.machine.sys_open(self.mic_path)
+        while True:
+            yield Sleep(self.interval)
+            if mic_fd is not None:
+                ambient = yield from self._mic_ambient(mic_fd)
+            else:
+                ambient = self.estimate_ambient()
+            target = self.target_level(ambient)
+            # content loudness before gain: normalise different source
+            # levels to the same acoustic output
+            content = (
+                speaker.last_output_rms / speaker.gain
+                if speaker.gain > 0 and speaker.last_output_rms > 0
+                else 0.0
+            )
+            if content > 1e-6:
+                desired = min(self.policy.max_gain, target / content)
+                step = max(
+                    min(desired, speaker.gain * (1 + self.policy.slew)),
+                    speaker.gain * (1 - self.policy.slew),
+                )
+                speaker.gain = step
+                self.adjustments += 1
+            self.history.append(
+                (speaker.machine.sim.now, ambient, speaker.gain)
+            )

@@ -1,0 +1,40 @@
+"""Simulated Ethernet LAN and WAN links.
+
+The paper's protocol leans on properties of a single Ethernet segment —
+"low error rates, ample bandwidth, and most importantly, well behaved packet
+arrival" plus multicast-by-default (§2.3).  Here those properties are
+explicit, tunable parameters: segment bandwidth (10/100/1000 Mbps), per-
+receiver jitter and loss, VLAN isolation, and a queueing model that makes a
+saturated legacy link *measurably* drop audio the way §2.2 describes.
+"""
+
+from repro.net.addr import (
+    ETHER_OVERHEAD,
+    UDP_IP_OVERHEAD,
+    is_multicast,
+    wire_bytes,
+)
+from repro.net.segment import Datagram, EthernetSegment
+from repro.net.nic import Nic
+from repro.net.stack import NetworkStack, UdpSocket
+from repro.net.macsec import ConnectivityAssociation, MacsecNic
+from repro.net.monitor import BandwidthMonitor
+from repro.net.switch import SwitchedSegment
+from repro.net.wan import WanLink
+
+__all__ = [
+    "is_multicast",
+    "wire_bytes",
+    "ETHER_OVERHEAD",
+    "UDP_IP_OVERHEAD",
+    "Datagram",
+    "EthernetSegment",
+    "Nic",
+    "NetworkStack",
+    "UdpSocket",
+    "BandwidthMonitor",
+    "WanLink",
+    "ConnectivityAssociation",
+    "MacsecNic",
+    "SwitchedSegment",
+]

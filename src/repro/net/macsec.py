@@ -1,0 +1,142 @@
+"""MACsec-flavoured link-layer authentication (IEEE 802.1AE, §5.1).
+
+"We are also looking into whether we can take advantage of the services
+offered by the IEEE 802.1AE MAC-layer security standard."
+
+Model: a *connectivity association* is a shared secret distributed to the
+legitimate stations of a VLAN.  Member NICs tag every transmitted frame
+with a truncated HMAC over (vlan, src, dst, payload) plus a packet number,
+and silently drop received frames whose tag fails or whose packet number
+replays.  An attacker on the same segment — even one spoofing the VLAN
+tag, which plain VLAN separation cannot stop (§5.1: "there exist ways for
+injecting packets into VLANs") — cannot produce a valid tag.
+
+This protects the *link*; the stream-level authenticators in
+:mod:`repro.security.auth` protect end-to-end and also cover multi-switch
+paths.  The two compose.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.net.nic import Nic
+from repro.net.segment import Datagram
+
+TAG_BYTES = 8  # 802.1AE uses a 16-byte ICV; 8 is plenty for the model
+
+
+@dataclass
+class MacsecStats:
+    tagged: int = 0
+    verified: int = 0
+    rejected: int = 0
+    replayed: int = 0
+
+
+class ConnectivityAssociation:
+    """The shared key + per-sender packet number space of one CA."""
+
+    def __init__(self, key: bytes, name: str = "ca0"):
+        self.key = key
+        self.name = name
+        self.stats = MacsecStats()
+        self._tx_pn: Dict[str, int] = {}
+        self._rx_pn: Dict[str, int] = {}
+
+    def _icv(self, dgram: Datagram, pn: int) -> bytes:
+        mac = hmac.new(
+            self.key,
+            b"|".join(
+                [
+                    str(dgram.vlan).encode(),
+                    dgram.src_ip.encode(),
+                    str(dgram.src_port).encode(),
+                    dgram.dst_ip.encode(),
+                    str(dgram.dst_port).encode(),
+                    pn.to_bytes(8, "little"),
+                    dgram.payload,
+                ]
+            ),
+            hashlib.sha256,
+        )
+        return mac.digest()[:TAG_BYTES]
+
+    def protect(self, dgram: Datagram, sender_id: str) -> Datagram:
+        """Append the SecTAG (packet number + ICV) to the payload."""
+        pn = self._tx_pn.get(sender_id, 0) + 1
+        self._tx_pn[sender_id] = pn
+        tagged = Datagram(
+            src_ip=dgram.src_ip,
+            src_port=dgram.src_port,
+            dst_ip=dgram.dst_ip,
+            dst_port=dgram.dst_port,
+            payload=dgram.payload + pn.to_bytes(8, "little")
+            + self._icv(dgram, pn),
+            vlan=dgram.vlan,
+        )
+        self.stats.tagged += 1
+        return tagged
+
+    def validate(
+        self, dgram: Datagram, rx_pn: Dict[str, int]
+    ) -> Optional[Datagram]:
+        """Strip and verify the SecTAG; None for forgeries/replays.
+
+        ``rx_pn`` is the *receiving port's* replay state — per-port, not
+        per-CA, because every member of a multicast group sees the same
+        packet numbers.
+        """
+        overhead = 8 + TAG_BYTES
+        if len(dgram.payload) < overhead:
+            self.stats.rejected += 1
+            return None
+        body = dgram.payload[:-overhead]
+        pn = int.from_bytes(dgram.payload[-overhead:-TAG_BYTES], "little")
+        icv = dgram.payload[-TAG_BYTES:]
+        inner = Datagram(
+            src_ip=dgram.src_ip,
+            src_port=dgram.src_port,
+            dst_ip=dgram.dst_ip,
+            dst_port=dgram.dst_port,
+            payload=body,
+            vlan=dgram.vlan,
+        )
+        if not hmac.compare_digest(icv, self._icv(inner, pn)):
+            self.stats.rejected += 1
+            return None
+        sender = f"{dgram.src_ip}:{dgram.src_port}"
+        if pn <= rx_pn.get(sender, 0):
+            self.stats.replayed += 1
+            return None
+        rx_pn[sender] = pn
+        self.stats.verified += 1
+        return inner
+
+
+class MacsecNic(Nic):
+    """A NIC whose port participates in a connectivity association.
+
+    Frames it sends carry the SecTAG; frames it receives must verify.
+    A plain :class:`~repro.net.nic.Nic` on the same segment can neither
+    read nor inject.
+    """
+
+    def __init__(self, segment, ip: str, ca: ConnectivityAssociation,
+                 vlan: int = 1, name: str = ""):
+        super().__init__(segment, ip, vlan=vlan, name=name)
+        self.ca = ca
+        self._rx_pn: Dict[str, int] = {}
+
+    def send(self, dgram: Datagram) -> bool:
+        protected = self.ca.protect(dgram, sender_id=self.ip)
+        return self.segment.transmit(protected, sender=self)
+
+    def deliver(self, dgram: Datagram) -> None:
+        inner = self.ca.validate(dgram, self._rx_pn)
+        if inner is None:
+            return  # dropped at the port, the host never sees it
+        super().deliver(inner)

@@ -1,0 +1,62 @@
+"""Network interface: address filters, VLAN membership, multicast groups."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Set
+
+from repro.net.addr import is_broadcast, is_multicast
+from repro.net.segment import Datagram, EthernetSegment
+
+
+class Nic:
+    """One interface on the segment.
+
+    Filtering mimics a real NIC + IP stack: unicast to our address,
+    broadcast, or multicast groups we joined (IGMP is abstracted to
+    ``join_group``).  VLAN tagging isolates ports — the paper's interim
+    security measure of "operating the Ethernet Speakers in their own
+    VLAN" (§5.1).
+    """
+
+    def __init__(
+        self,
+        segment: EthernetSegment,
+        ip: str,
+        vlan: int = 1,
+        promiscuous: bool = False,
+        name: str = "",
+    ):
+        self.segment = segment
+        self.ip = ip
+        self.vlan = vlan
+        self.promiscuous = promiscuous
+        self.name = name or f"nic-{ip}"
+        self.groups: Set[str] = set()
+        self.rx_handler: Optional[Callable[[Datagram], None]] = None
+        self.rx_frames = 0
+        segment.attach(self)
+
+    def join_group(self, group_ip: str) -> None:
+        if not is_multicast(group_ip):
+            raise ValueError(f"{group_ip} is not a multicast address")
+        self.groups.add(group_ip)
+
+    def leave_group(self, group_ip: str) -> None:
+        self.groups.discard(group_ip)
+
+    def accepts(self, dgram: Datagram) -> bool:
+        if dgram.vlan != self.vlan:
+            return False  # VLAN isolation happens before anything else
+        if self.promiscuous:
+            return True
+        if dgram.dst_ip == self.ip or is_broadcast(dgram.dst_ip):
+            return True
+        return is_multicast(dgram.dst_ip) and dgram.dst_ip in self.groups
+
+    def deliver(self, dgram: Datagram) -> None:
+        self.rx_frames += 1
+        if self.rx_handler is not None:
+            self.rx_handler(dgram)
+
+    def send(self, dgram: Datagram) -> bool:
+        return self.segment.transmit(dgram, sender=self)

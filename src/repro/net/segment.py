@@ -1,0 +1,144 @@
+"""A shared Ethernet segment.
+
+Frames serialise onto the wire at the segment's bit rate (a transmission
+occupies the medium for its wire time), then every attached NIC whose
+filters match sees the frame after the propagation latency plus optional
+per-receiver jitter.  A bounded transmit backlog models what happens when
+senders outrun a 10 Mbps legacy segment: the queue fills and frames drop —
+exactly the failure §2.2 says made raw CD-quality rebroadcast "unacceptable"
+on slow links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.net.addr import wire_bytes
+from repro.sim.core import Simulator
+
+
+@dataclass
+class Datagram:
+    """A UDP datagram in flight (we model at the datagram level and account
+    Ethernet/IP costs arithmetically via :func:`wire_bytes`)."""
+
+    src_ip: str
+    src_port: int
+    dst_ip: str
+    dst_port: int
+    payload: bytes
+    vlan: int = 1
+
+    @property
+    def wire_size(self) -> int:
+        return wire_bytes(len(self.payload))
+
+
+@dataclass
+class SegmentStats:
+    frames_sent: int = 0
+    frames_dropped: int = 0
+    bytes_sent: int = 0
+    busy_seconds: float = 0.0
+
+
+class EthernetSegment:
+    """The LAN: a broadcast domain with finite bandwidth.
+
+    Parameters
+    ----------
+    bandwidth_bps:
+        10e6 for legacy Ethernet, 100e6 for the paper's fast Ethernet.
+    latency:
+        propagation delay to every receiver (uniform — the protocol's
+        "everybody receives a multicast packet at the same time"
+        assumption is the special case jitter == 0).
+    jitter:
+        per-receiver uniform extra delay in [0, jitter].
+    loss_rate:
+        independent per-receiver drop probability.
+    max_backlog:
+        transmit queue bound in frames; beyond it frames drop.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_bps: float = 100e6,
+        latency: float = 50e-6,
+        jitter: float = 0.0,
+        loss_rate: float = 0.0,
+        max_backlog: int = 200,
+        seed: int = 0,
+        name: str = "lan0",
+    ):
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate out of range: {loss_rate}")
+        self.sim = sim
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.latency = latency
+        self.jitter = jitter
+        self.loss_rate = loss_rate
+        self.max_backlog = max_backlog
+        self.name = name
+        self.stats = SegmentStats()
+        self._rng = np.random.default_rng(seed)
+        self._nics: List["Nic"] = []
+        self._wire_free_at = 0.0
+        self._taps: List[Callable[[Datagram], None]] = []
+
+    def attach(self, nic: "Nic") -> None:
+        self._nics.append(nic)
+
+    def detach(self, nic: "Nic") -> None:
+        if nic in self._nics:
+            self._nics.remove(nic)
+
+    def add_tap(self, fn: Callable[[Datagram], None]) -> None:
+        """Register a monitor called for every frame that makes it onto
+        the wire (bandwidth meters, packet captures)."""
+        self._taps.append(fn)
+
+    # -- transmission -------------------------------------------------------------
+
+    def transmit(self, dgram: Datagram, sender: Optional["Nic"] = None) -> bool:
+        """Put a frame on the wire.  Returns False if the backlog is full
+        and the frame was dropped at the sender."""
+        now = self.sim.now
+        tx_time = dgram.wire_size * 8 / self.bandwidth_bps
+        backlog = max(0.0, self._wire_free_at - now)
+        if backlog / max(tx_time, 1e-12) > self.max_backlog:
+            self.stats.frames_dropped += 1
+            return False
+        start = max(now, self._wire_free_at)
+        done = start + tx_time
+        self._wire_free_at = done
+        self.stats.frames_sent += 1
+        self.stats.bytes_sent += dgram.wire_size
+        self.stats.busy_seconds += tx_time
+        for tap in self._taps:
+            tap(dgram)
+        for nic in self._nics:
+            if nic is sender:
+                continue
+            if not nic.accepts(dgram):
+                continue
+            if self.loss_rate and self._rng.random() < self.loss_rate:
+                continue
+            delay = done - now + self.latency
+            if self.jitter:
+                delay += self._rng.uniform(0.0, self.jitter)
+            self.sim.schedule(delay, nic.deliver, dgram)
+        return True
+
+    @property
+    def utilisation_bps(self) -> float:
+        """Average offered load so far (bytes on wire / elapsed time)."""
+        if self.sim.now <= 0:
+            return 0.0
+        return self.stats.bytes_sent * 8 / self.sim.now

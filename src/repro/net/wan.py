@@ -1,0 +1,70 @@
+"""A point-to-point WAN path with Internet-like behaviour.
+
+The rebroadcaster's upstream (Figure 1): a Real-Audio-style server on the
+public Internet feeding the proxy machine.  Unlike the LAN, the WAN has
+real latency, jitter, and loss — the "network problems associated with
+transmission over WAN links" (§6) that the ES system deliberately keeps
+out of the LAN protocol by terminating them at the rebroadcaster.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.sim.core import Simulator
+
+
+class WanLink:
+    """Unidirectional WAN pipe delivering payloads to a callback.
+
+    Serialisation at ``bandwidth_bps``, propagation ``latency``, uniform
+    ``jitter``, independent ``loss_rate``.  Reordering can emerge naturally
+    from jitter (delivery time = queue-exit + jittered propagation).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_bps: float = 1.5e6,  # a T1, period-appropriate
+        latency: float = 0.060,
+        jitter: float = 0.030,
+        loss_rate: float = 0.0,
+        seed: int = 0,
+        name: str = "wan0",
+    ):
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.sim = sim
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.latency = latency
+        self.jitter = jitter
+        self.loss_rate = loss_rate
+        self.name = name
+        self._rng = np.random.default_rng(seed)
+        self._free_at = 0.0
+        self.sent = 0
+        self.delivered = 0
+        self.lost = 0
+        self.bytes_sent = 0
+
+    def send(self, payload: bytes, deliver: Callable[[bytes], None]) -> None:
+        """Queue ``payload``; ``deliver(payload)`` fires at arrival time."""
+        now = self.sim.now
+        tx_time = len(payload) * 8 / self.bandwidth_bps
+        start = max(now, self._free_at)
+        self._free_at = start + tx_time
+        self.sent += 1
+        self.bytes_sent += len(payload)
+        if self.loss_rate and self._rng.random() < self.loss_rate:
+            self.lost += 1
+            return
+        delay = (start + tx_time - now) + self.latency
+        if self.jitter:
+            delay += self._rng.uniform(0.0, self.jitter)
+        self.sim.schedule(delay, self._deliver, payload, deliver)
+
+    def _deliver(self, payload: bytes, deliver: Callable[[bytes], None]):
+        self.delivered += 1
+        deliver(payload)

@@ -1,0 +1,41 @@
+"""The Ethernet Speaker platform: hardware, boot, configuration (§2.4).
+
+A speaker "has to be essentially maintenance-free": it PXE-boots a
+ramdisk kernel over the network, gets its network identity from DHCP, and
+fetches a machine-specific configuration archive from a boot server whose
+key is baked into the ramdisk.  The configuration archive "is expanded
+over the skeleton /etc directory, thus the machine-specific information
+overwrites any common configuration".
+
+All of that is modelled here: profiles for the Neoware EON 4000 and the
+test machines, NVRAM, the ramdisk image builder, a tar-like archive with
+overlay semantics, and the DHCP + TFTP + config-fetch boot sequence.
+"""
+
+from repro.platform.hardware import (
+    EON_4000,
+    FAST_WORKSTATION,
+    SUN_ULTRA_10,
+    HardwareProfile,
+    make_machine,
+)
+from repro.platform.nvram import Nvram
+from repro.platform.archive import pack_archive, unpack_archive
+from repro.platform.image import RamdiskImage, build_ramdisk
+from repro.platform.netboot import BootServer, DhcpServer, netboot
+
+__all__ = [
+    "HardwareProfile",
+    "EON_4000",
+    "SUN_ULTRA_10",
+    "FAST_WORKSTATION",
+    "make_machine",
+    "Nvram",
+    "pack_archive",
+    "unpack_archive",
+    "RamdiskImage",
+    "build_ramdisk",
+    "DhcpServer",
+    "BootServer",
+    "netboot",
+]

@@ -1,0 +1,57 @@
+"""A tar-like archive with overlay semantics (§2.4).
+
+"The configuration tar file is expanded over the skeleton /etc directory,
+thus the machine-specific information overwrites any common
+configuration."  Format (from scratch, little-endian):
+
+    magic 'ESAR' | u32 count | count x (u16 path_len | path utf-8 |
+                                        u32 data_len | data)
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict
+
+_MAGIC = b"ESAR"
+
+
+def pack_archive(files: Dict[str, bytes]) -> bytes:
+    """Serialise a path->bytes mapping."""
+    parts = [_MAGIC, struct.pack("<I", len(files))]
+    for path in sorted(files):
+        data = files[path]
+        encoded = path.encode("utf-8")
+        parts.append(struct.pack("<H", len(encoded)))
+        parts.append(encoded)
+        parts.append(struct.pack("<I", len(data)))
+        parts.append(data)
+    return b"".join(parts)
+
+
+def unpack_archive(blob: bytes) -> Dict[str, bytes]:
+    """Inverse of :func:`pack_archive`; raises ValueError on junk."""
+    if blob[:4] != _MAGIC:
+        raise ValueError("not an ES archive")
+    (count,) = struct.unpack_from("<I", blob, 4)
+    offset = 8
+    files: Dict[str, bytes] = {}
+    for _ in range(count):
+        (path_len,) = struct.unpack_from("<H", blob, offset)
+        offset += 2
+        path = blob[offset : offset + path_len].decode("utf-8")
+        offset += path_len
+        (data_len,) = struct.unpack_from("<I", blob, offset)
+        offset += 4
+        files[path] = blob[offset : offset + data_len]
+        offset += data_len
+    if len(files) != count:
+        raise ValueError("duplicate paths in archive")
+    return files
+
+
+def overlay(skeleton: Dict[str, bytes], extra: Dict[str, bytes]) -> Dict[str, bytes]:
+    """Expand ``extra`` over ``skeleton``: machine-specific wins."""
+    merged = dict(skeleton)
+    merged.update(extra)
+    return merged

@@ -1,0 +1,62 @@
+"""Hardware profiles for the machines the paper names (§3.4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernel.machine import Machine
+from repro.sim.core import Simulator
+
+
+@dataclass(frozen=True)
+class HardwareProfile:
+    """Enough of a machine description to instantiate it."""
+
+    name: str
+    cpu_freq_hz: float
+    ram_mb: int
+    has_flash: bool
+    has_audio: bool
+    notes: str = ""
+
+
+#: "Neoware EON 4000 machines that have a National Semiconductor Geode
+#: processor running at 233MHz and 64Mb RAM, non-volatile memory (Flash)
+#: and built-in audio and Ethernet interfaces" — cost under $50.
+EON_4000 = HardwareProfile(
+    name="Neoware EON 4000",
+    cpu_freq_hz=233e6,
+    ram_mb=64,
+    has_flash=True,
+    has_audio=True,
+    notes="the Ethernet Speaker platform",
+)
+
+#: the cross-platform test machine of §3.4
+SUN_ULTRA_10 = HardwareProfile(
+    name="Sun Ultra 10",
+    cpu_freq_hz=440e6,
+    ram_mb=256,
+    has_flash=False,
+    has_audio=True,
+    notes="cross-platform protocol testing",
+)
+
+#: "our testing on faster machines" that hid the pipeline problem
+FAST_WORKSTATION = HardwareProfile(
+    name="fast workstation",
+    cpu_freq_hz=1000e6,
+    ram_mb=512,
+    has_flash=False,
+    has_audio=True,
+    notes="development workstation",
+)
+
+
+def make_machine(
+    sim: Simulator, name: str, profile: HardwareProfile = EON_4000
+) -> Machine:
+    """Instantiate a machine from a profile."""
+    machine = Machine(sim, name, cpu_freq_hz=profile.cpu_freq_hz)
+    machine.nvram["profile"] = profile.name
+    return machine

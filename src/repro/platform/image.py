@@ -1,0 +1,66 @@
+"""Ramdisk kernel images (§2.4).
+
+"We decided to use a ramdisk-based kernel that is loaded over the network.
+The ramdisk is part of the kernel, so that when an ES loads its kernel, it
+gets the root filesystem and a set of utilities which include the
+rebroadcast software.  The ramdisk contains only programs and data that
+are common to all ESs."
+
+An image is the skeleton root filesystem plus the boot server's public key
+material ("the boot server's ssh public keys are stored in the ramdisk").
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class RamdiskImage:
+    """Kernel + embedded root filesystem, ready to TFTP."""
+
+    version: str
+    files: Dict[str, bytes] = field(default_factory=dict)
+    boot_server_key: bytes = b""
+
+    @property
+    def size_bytes(self) -> int:
+        """Transfer size: files plus a fixed kernel-text allowance."""
+        return 2_000_000 + sum(len(v) for v in self.files.values())
+
+    def checksum(self) -> bytes:
+        h = hashlib.sha256()
+        h.update(self.version.encode())
+        for path in sorted(self.files):
+            h.update(path.encode())
+            h.update(self.files[path])
+        h.update(self.boot_server_key)
+        return h.digest()
+
+
+#: the skeleton /etc every speaker shares before its overlay arrives
+DEFAULT_SKELETON = {
+    "/etc/es.conf": b"channel=auto\nvolume=70\n",
+    "/etc/hostname": b"es-unconfigured\n",
+    "/bin/es-player": b"\x7fELF es-player placeholder",
+    "/bin/rebroadcast": b"\x7fELF rebroadcast placeholder",
+    "/usr/share/doc/netboot-howto.txt": (
+        b"PXE netboot HOWTO for the i386 platform (submitted upstream)\n"
+    ),
+}
+
+
+def build_ramdisk(
+    version: str = "1.0",
+    boot_server_key: bytes = b"",
+    extra_files: Dict[str, bytes] | None = None,
+) -> RamdiskImage:
+    """Assemble an image the way the OpenBSD install-media script would."""
+    files = dict(DEFAULT_SKELETON)
+    if extra_files:
+        files.update(extra_files)
+    return RamdiskImage(
+        version=version, files=files, boot_server_key=boot_server_key
+    )

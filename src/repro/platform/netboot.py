@@ -1,0 +1,289 @@
+"""The network boot sequence: DHCP -> PXE/TFTP -> config fetch (§2.4).
+
+"Each machine's network-related configuration is acquired via DHCP, the
+rest are in a tar file that is scp'd from a boot server (note that the
+boot server's ssh public keys are stored in the ramdisk)."
+
+The flow, end to end on the simulated LAN:
+
+1. the speaker broadcasts a DHCP DISCOVER from 0.0.0.0 and gets an
+   OFFER/ACK carrying its address plus the boot server's;
+2. it TFTPs the ramdisk kernel image (a real multi-megabyte transfer —
+   boot time scales with LAN bandwidth and speaker count);
+3. it requests its configuration archive over the "scp" port; the
+   response is authenticated with the key embedded in the ramdisk and
+   expanded over the skeleton ``/etc``.
+
+Message framing reuses :mod:`repro.platform.archive`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as hmac_mod
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.platform.archive import overlay, pack_archive, unpack_archive
+from repro.platform.image import RamdiskImage
+from repro.sim.process import Process, Timeout
+
+DHCP_SERVER_PORT = 67
+DHCP_CLIENT_PORT = 68
+TFTP_PORT = 69
+CONFIG_PORT = 1022
+
+TFTP_BLOCK = 1400
+
+
+def _mac_tag(key: bytes, payload: bytes) -> bytes:
+    return hmac_mod.new(key, payload, hashlib.sha256).digest()
+
+
+class DhcpServer:
+    """Hands out addresses and the boot-server pointer."""
+
+    def __init__(self, machine, pool_prefix: str = "10.1.9.",
+                 boot_server_ip: str = "", first_host: int = 10):
+        self.machine = machine
+        self.pool_prefix = pool_prefix
+        self.boot_server_ip = boot_server_ip or machine.net.ip
+        self._next_host = first_host
+        self.leases: Dict[str, str] = {}
+
+    def start(self) -> Process:
+        return self.machine.spawn(self._run(), name="dhcpd")
+
+    def _lease_for(self, client_id: str) -> str:
+        if client_id not in self.leases:
+            self.leases[client_id] = f"{self.pool_prefix}{self._next_host}"
+            self._next_host += 1
+        return self.leases[client_id]
+
+    def _run(self):
+        machine = self.machine
+        sock = machine.net.socket(DHCP_SERVER_PORT)
+        while True:
+            msg = yield sock.recv()
+            try:
+                fields = unpack_archive(msg.payload)
+            except ValueError:
+                continue
+            mtype = fields.get("type", b"")
+            client_id = fields.get("client_id", b"").decode()
+            if not client_id:
+                continue
+            yield machine.cpu.run(20_000, domain="sys")
+            if mtype == b"discover":
+                reply = {
+                    "type": b"offer",
+                    "client_id": client_id.encode(),
+                    "ip": self._lease_for(client_id).encode(),
+                    "boot_server": self.boot_server_ip.encode(),
+                }
+            elif mtype == b"request":
+                reply = {
+                    "type": b"ack",
+                    "client_id": client_id.encode(),
+                    "ip": self._lease_for(client_id).encode(),
+                    "boot_server": self.boot_server_ip.encode(),
+                }
+            else:
+                continue
+            sock.sendto(
+                pack_archive(reply), ("255.255.255.255", DHCP_CLIENT_PORT)
+            )
+
+
+class BootServer:
+    """Serves the ramdisk image over TFTP and config archives over 'scp'.
+
+    ``secret_key`` is the boot server's host key; its public half (here:
+    the key itself, standing in for an ssh host public key) is embedded in
+    the ramdisk image so clients can authenticate the config archive.
+    """
+
+    def __init__(self, machine, image: RamdiskImage, secret_key: bytes,
+                 configs: Optional[Dict[str, Dict[str, bytes]]] = None,
+                 default_config: Optional[Dict[str, bytes]] = None):
+        self.machine = machine
+        self.image = image
+        self.secret_key = secret_key
+        self.configs = configs or {}
+        self.default_config = default_config or {}
+        self.tftp_transfers = 0
+        self.config_served = 0
+
+    def start(self) -> None:
+        self.machine.spawn(self._tftp(), name="tftpd")
+        self.machine.spawn(self._configd(), name="configd")
+
+    def _image_blob(self) -> bytes:
+        body = pack_archive(
+            dict(
+                self.image.files,
+                **{
+                    "__version__": self.image.version.encode(),
+                    "__bootkey__": self.image.boot_server_key,
+                },
+            )
+        )
+        padding = max(0, self.image.size_bytes - len(body))
+        return body + bytes(padding)
+
+    def _tftp(self):
+        """Listen for RRQs; each transfer moves to an ephemeral port so
+        concurrent clients don't trample each other (as in real TFTP)."""
+        machine = self.machine
+        sock = machine.net.socket(TFTP_PORT)
+        blob = self._image_blob()
+        while True:
+            msg = yield sock.recv()
+            if not msg.payload.startswith(b"RRQ"):
+                continue
+            self.tftp_transfers += 1
+            machine.spawn(
+                self._transfer(blob, msg.src), name="tftpd-worker"
+            )
+
+    def _transfer(self, blob: bytes, client):
+        machine = self.machine
+        sock = machine.net.socket()
+        total_blocks = (len(blob) + TFTP_BLOCK - 1) // TFTP_BLOCK
+        for block_no in range(total_blocks):
+            chunk = blob[block_no * TFTP_BLOCK : (block_no + 1) * TFTP_BLOCK]
+            header = b"DAT" + block_no.to_bytes(4, "little")
+            yield machine.cpu.run(3_000, domain="sys")
+            sock.sendto(header + chunk, client)
+            try:
+                ack = yield Timeout(sock.recv(), 2.0)
+            except TimeoutError:
+                sock.close()
+                return  # client died; abandon transfer
+            if not ack.payload.startswith(b"ACK"):
+                sock.close()
+                return
+        sock.sendto(b"EOT", client)
+        sock.close()
+
+    def _configd(self):
+        machine = self.machine
+        sock = machine.net.socket(CONFIG_PORT)
+        while True:
+            msg = yield sock.recv()
+            client_id = msg.payload.decode(errors="replace")
+            files = self.configs.get(client_id, self.default_config)
+            blob = pack_archive(files)
+            yield machine.cpu.run(50_000, domain="sys")
+            self.config_served += 1
+            sock.sendto(_mac_tag(self.secret_key, blob) + blob, msg.src)
+
+
+@dataclass
+class BootResult:
+    """What a successfully booted speaker knows."""
+
+    ip: str
+    boot_server: str
+    image_version: str
+    etc: Dict[str, bytes] = field(default_factory=dict)
+    boot_seconds: float = 0.0
+    image_bytes: int = 0
+
+
+def netboot(machine, client_id: str = "", retries: int = 3):
+    """Generator: run the PXE boot sequence on ``machine``.
+
+    The machine must be attached to the LAN (its NIC starts at 0.0.0.0).
+    Returns a :class:`BootResult`; raises TimeoutError if the LAN never
+    answers.
+    """
+    client_id = client_id or machine.name
+    start_time = machine.sim.now
+    sock = machine.net.socket(DHCP_CLIENT_PORT)
+
+    def recv_dhcp(want_type: bytes, budget: float):
+        """Wait for our own reply; broadcasts for other clients are
+        everyone's business on a shared segment, so filter by client_id."""
+        deadline = machine.sim.now + budget
+        while machine.sim.now < deadline:
+            remaining = max(1e-6, deadline - machine.sim.now)
+            msg = yield Timeout(sock.recv(), remaining)
+            try:
+                fields = unpack_archive(msg.payload)
+            except ValueError:
+                continue
+            if (
+                fields.get("type") == want_type
+                and fields.get("client_id", b"").decode() == client_id
+            ):
+                return fields
+        raise TimeoutError(f"{client_id}: no DHCP {want_type.decode()}")
+
+    # -- DHCP ----------------------------------------------------------------
+    offer = None
+    for _ in range(retries):
+        sock.sendto(
+            pack_archive({"type": b"discover", "client_id": client_id.encode()}),
+            ("255.255.255.255", DHCP_SERVER_PORT),
+        )
+        try:
+            offer = yield from recv_dhcp(b"offer", 1.0)
+            break
+        except TimeoutError:
+            continue
+    if offer is None:
+        raise TimeoutError(f"{client_id}: no DHCP offer")
+    sock.sendto(
+        pack_archive({"type": b"request", "client_id": client_id.encode()}),
+        ("255.255.255.255", DHCP_SERVER_PORT),
+    )
+    ack = yield from recv_dhcp(b"ack", 2.0)
+    my_ip = ack["ip"].decode()
+    boot_server = ack["boot_server"].decode()
+    machine.net.nic.ip = my_ip  # interface configured
+
+    # -- TFTP the ramdisk ------------------------------------------------------
+    tftp = machine.net.socket()
+    tftp.sendto(b"RRQ ramdisk.img", (boot_server, TFTP_PORT))
+    chunks = []
+    while True:
+        msg = yield Timeout(tftp.recv(), 5.0)
+        if msg.payload.startswith(b"EOT"):
+            break
+        if not msg.payload.startswith(b"DAT"):
+            continue
+        chunks.append(msg.payload[7:])
+        yield machine.cpu.run(2_000, domain="sys")
+        # reply to the transfer worker's (ephemeral) port, per TFTP
+        tftp.sendto(b"ACK" + msg.payload[3:7], msg.src)
+    blob = b"".join(chunks)
+    image_files = unpack_archive(blob)
+    version = image_files.pop("__version__", b"?").decode()
+    boot_key = image_files.pop("__bootkey__", b"")
+
+    # -- config archive over 'scp' -----------------------------------------------
+    cfg_sock = machine.net.socket()
+    cfg_sock.sendto(client_id.encode(), (boot_server, CONFIG_PORT))
+    reply = (yield Timeout(cfg_sock.recv(), 5.0)).payload
+    tag, cfg_blob = reply[:32], reply[32:]
+    if _mac_tag(boot_key, cfg_blob) != tag:
+        raise PermissionError(
+            f"{client_id}: config archive failed host-key verification"
+        )
+    config_files = unpack_archive(cfg_blob)
+    skeleton_etc = {
+        path: data
+        for path, data in image_files.items()
+        if path.startswith("/etc/")
+    }
+    etc = overlay(skeleton_etc, config_files)
+
+    return BootResult(
+        ip=my_ip,
+        boot_server=boot_server,
+        image_version=version,
+        etc=etc,
+        boot_seconds=machine.sim.now - start_time,
+        image_bytes=len(blob),
+    )

@@ -1,0 +1,42 @@
+"""Stream authentication and attack models (§5.1).
+
+The paper's security plan, implemented:
+
+* speakers must not play audio from an unauthorised source, and must
+  resist denial of service;
+* per-packet conventional public-key signatures are "not feasible as it
+  allows an attacker to overwhelm an ES by simply feeding it garbage" —
+  reproduced by :class:`SimulatedPkiAuthenticator`'s honest cost model;
+* fast signing/verification à la Reyzin & Reyzin: :mod:`repro.security.hors`
+  implements HORS few-time signatures over SHA-256;
+* a Certification Authority key "stored in non-volatile RAM on each
+  machine" verifies stream keys (:mod:`repro.security.keys`);
+* :mod:`repro.security.attacks` provides the impostor/injector/flooder
+  processes the benchmarks throw at speakers.
+"""
+
+from repro.security.hors import HorsKeyPair, HorsSignature
+from repro.security.keys import CertificationAuthority, StreamCertificate
+from repro.security.auth import (
+    AuthError,
+    HmacAuthenticator,
+    HorsAuthenticator,
+    NullAuthenticator,
+    SimulatedPkiAuthenticator,
+)
+from repro.security.attacks import GarbageFlooder, Injector, Impostor
+
+__all__ = [
+    "HorsKeyPair",
+    "HorsSignature",
+    "CertificationAuthority",
+    "StreamCertificate",
+    "AuthError",
+    "NullAuthenticator",
+    "HmacAuthenticator",
+    "HorsAuthenticator",
+    "SimulatedPkiAuthenticator",
+    "GarbageFlooder",
+    "Injector",
+    "Impostor",
+]

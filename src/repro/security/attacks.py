@@ -1,0 +1,118 @@
+"""Attack processes for the §5.1 threat model.
+
+* :class:`Injector` — "malicious hosts injecting packets into an audio
+  stream": forged data packets on the channel's multicast group.
+* :class:`Impostor` — fake channel advertisements ("the ESs want to know
+  that the audio streams they see advertised on the LAN are the real
+  ones, and not fake advertisements from impostors").
+* :class:`GarbageFlooder` — the DoS vector: random bytes at high rate,
+  each of which the speaker must spend a verification on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codec.base import CodecID
+from repro.core.protocol import AnnounceEntry, AnnouncePacket, DataPacket
+from repro.sim.process import Process, Sleep
+
+
+class Injector:
+    """Sends plausible-looking forged data packets into a channel."""
+
+    def __init__(self, machine, channel, rate_pps: float = 20.0,
+                 payload_bytes: int = 1024, authenticator=None):
+        self.machine = machine
+        self.channel = channel
+        self.rate_pps = rate_pps
+        self.payload_bytes = payload_bytes
+        self.authenticator = authenticator  # a *wrong-key* wrapper, if any
+        self.sent = 0
+
+    def start(self) -> Process:
+        return self.machine.spawn(self._run(), name="injector")
+
+    def _run(self):
+        sock = self.machine.net.socket()
+        seq = 10_000
+        while True:
+            seq += 1
+            packet = DataPacket(
+                channel_id=self.channel.channel_id,
+                seq=seq,
+                play_at=self.machine.sim.now,
+                payload=bytes(self.payload_bytes),
+                codec_id=CodecID.RAW,
+                pcm_bytes=self.payload_bytes,
+            ).encode()
+            if self.authenticator is not None:
+                packet = self.authenticator.wrap(packet)
+            sock.sendto(packet, (self.channel.group_ip, self.channel.port))
+            self.sent += 1
+            yield Sleep(1.0 / self.rate_pps)
+
+
+class Impostor:
+    """Advertises a fake channel on the catalog group."""
+
+    def __init__(self, machine, catalog_group: str, catalog_port: int,
+                 fake_name: str = "evil-stream", interval: float = 1.0):
+        self.machine = machine
+        self.catalog_group = catalog_group
+        self.catalog_port = catalog_port
+        self.fake_name = fake_name
+        self.interval = interval
+        self.sent = 0
+
+    def start(self) -> Process:
+        return self.machine.spawn(self._run(), name="impostor")
+
+    def _run(self):
+        sock = self.machine.net.socket()
+        seq = 0
+        while True:
+            seq += 1
+            packet = AnnouncePacket(
+                seq=seq,
+                entries=(
+                    AnnounceEntry(
+                        channel_id=666,
+                        group_ip="239.66.66.66",
+                        port=6666,
+                        codec_id=CodecID.RAW,
+                        name=self.fake_name,
+                    ),
+                ),
+            ).encode()
+            sock.sendto(packet, (self.catalog_group, self.catalog_port))
+            self.sent += 1
+            yield Sleep(self.interval)
+
+
+class GarbageFlooder:
+    """Random-byte flood at a target packet rate (the DoS vector)."""
+
+    def __init__(self, machine, group_ip: str, port: int,
+                 rate_pps: float = 500.0, payload_bytes: int = 512,
+                 seed: int = 666):
+        self.machine = machine
+        self.group_ip = group_ip
+        self.port = port
+        self.rate_pps = rate_pps
+        self.payload_bytes = payload_bytes
+        self.sent = 0
+        self._rng = np.random.default_rng(seed)
+
+    def start(self) -> Process:
+        return self.machine.spawn(self._run(), name="flooder")
+
+    def _run(self):
+        sock = self.machine.net.socket()
+        while True:
+            junk = self._rng.integers(
+                0, 256, self.payload_bytes, dtype=np.uint8
+            ).tobytes()
+            sock.sendto(junk, (self.group_ip, self.port))
+            self.sent += 1
+            yield Sleep(1.0 / self.rate_pps)

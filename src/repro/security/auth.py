@@ -1,0 +1,261 @@
+"""Packet authenticators: the wrap/unwrap layer under the protocol.
+
+Each authenticator turns a protocol packet into an authenticated envelope
+(``wrap``) and back (``unwrap``, returning ``None`` for forgeries).  They
+also expose a **cycle cost model** so the DoS experiment can measure what
+garbage floods cost a 233 MHz speaker under each scheme — the crux of the
+paper's argument that per-packet public-key signatures are infeasible
+(§5.1).
+
+Envelope format: ``u8 scheme | u32 seq | auth-data | packet``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import struct
+from typing import Optional
+
+from repro.security.hors import HorsKeyPair, HorsSignature, verify
+from repro.security.keys import StreamCertificate
+
+SCHEME_NULL = 0
+SCHEME_HMAC = 1
+SCHEME_HORS = 2
+SCHEME_PKI = 3
+
+_HEAD = struct.Struct("<BI")
+
+
+class AuthError(Exception):
+    pass
+
+
+class ReplayWindow:
+    """Sliding acceptance window over envelope sequence numbers."""
+
+    def __init__(self, size: int = 128):
+        self.size = size
+        self._max_seen = -1
+        self._seen: set[int] = set()
+
+    def accept(self, seq: int) -> bool:
+        if seq <= self._max_seen - self.size or seq in self._seen:
+            return False
+        self._seen.add(seq)
+        self._max_seen = max(self._max_seen, seq)
+        floor = self._max_seen - self.size
+        if len(self._seen) > 2 * self.size:
+            self._seen = {s for s in self._seen if s > floor}
+        return True
+
+
+class NullAuthenticator:
+    """Pass-through (the current, unsecured system)."""
+
+    scheme = SCHEME_NULL
+
+    def sign_cycles(self, nbytes: int) -> float:
+        return 0.0
+
+    def verify_cycles(self, nbytes: int) -> float:
+        return 0.0
+
+    def wrap(self, packet: bytes) -> bytes:
+        return _HEAD.pack(SCHEME_NULL, 0) + packet
+
+    def unwrap(self, envelope: bytes) -> Optional[bytes]:
+        if len(envelope) < _HEAD.size:
+            return None
+        scheme, _ = _HEAD.unpack_from(envelope, 0)
+        if scheme != SCHEME_NULL:
+            return None
+        return envelope[_HEAD.size :]
+
+
+class HmacAuthenticator:
+    """Shared-key HMAC-SHA256 with replay protection.
+
+    Cheap for both sides; its weakness (every speaker holds the key, so a
+    compromised speaker can forge) is why the paper wants signatures.
+    """
+
+    scheme = SCHEME_HMAC
+    #: ~15 cycles/byte for SHA-256 on era hardware, plus fixed overhead
+    HASH_CYCLES_PER_BYTE = 15.0
+    FIXED_CYCLES = 2000.0
+
+    def __init__(self, key: bytes, window: int = 128):
+        self.key = key
+        self._seq = 0
+        self.window = ReplayWindow(window)
+
+    def sign_cycles(self, nbytes: int) -> float:
+        return self.FIXED_CYCLES + self.HASH_CYCLES_PER_BYTE * nbytes
+
+    verify_cycles = sign_cycles
+
+    def wrap(self, packet: bytes) -> bytes:
+        self._seq += 1
+        head = _HEAD.pack(SCHEME_HMAC, self._seq)
+        tag = hmac.new(self.key, head + packet, hashlib.sha256).digest()
+        return head + tag + packet
+
+    def unwrap(self, envelope: bytes) -> Optional[bytes]:
+        if len(envelope) < _HEAD.size + 32:
+            return None
+        scheme, seq = _HEAD.unpack_from(envelope, 0)
+        if scheme != SCHEME_HMAC:
+            return None
+        tag = envelope[_HEAD.size : _HEAD.size + 32]
+        packet = envelope[_HEAD.size + 32 :]
+        expected = hmac.new(
+            self.key, envelope[: _HEAD.size] + packet, hashlib.sha256
+        ).digest()
+        if not hmac.compare_digest(tag, expected):
+            return None
+        if not self.window.accept(seq):
+            return None
+        return packet
+
+
+class HorsAuthenticator:
+    """Per-packet HORS signatures with CA-certified rotating keys.
+
+    The sender signs every envelope with its current HORS key and rotates
+    to a fresh key (announcing it under the old one is elided: rotation
+    re-certifies through the CA, whose digest speakers pin in NVRAM).
+    Verification is a handful of hashes — fast enough to survive floods.
+    """
+
+    scheme = SCHEME_HORS
+    FIXED_CYCLES = 2500.0
+    HASH_CYCLES_PER_BYTE = 15.0
+    #: k+1 hashes of ~32B each for verify; key generation amortised
+    VERIFY_EXTRA_CYCLES = 9000.0
+    SIGN_EXTRA_CYCLES = 4000.0
+
+    def __init__(self, ca, channel_id: int, seed: bytes, t: int = 256,
+                 k: int = 16, window: int = 128):
+        self.ca = ca
+        self.channel_id = channel_id
+        self.k = k
+        self.t = t
+        self._seed = seed
+        self._generation = 0
+        self._key = HorsKeyPair(seed + b"|0", t=t, k=k)
+        self.certificate: StreamCertificate = ca.certify(
+            channel_id, self._key.public_key
+        )
+        self._seq = 0
+        self.window = ReplayWindow(window)
+        self.rotations = 0
+
+    def sign_cycles(self, nbytes: int) -> float:
+        return (
+            self.FIXED_CYCLES
+            + self.HASH_CYCLES_PER_BYTE * nbytes
+            + self.SIGN_EXTRA_CYCLES
+        )
+
+    def verify_cycles(self, nbytes: int) -> float:
+        return (
+            self.FIXED_CYCLES
+            + self.HASH_CYCLES_PER_BYTE * nbytes
+            + self.VERIFY_EXTRA_CYCLES
+        )
+
+    def _rotate(self) -> None:
+        self._generation += 1
+        self.rotations += 1
+        self._key = HorsKeyPair(
+            self._seed + b"|%d" % self._generation, t=self.t, k=self.k
+        )
+        self.certificate = self.ca.certify(
+            self.channel_id, self._key.public_key
+        )
+
+    def wrap(self, packet: bytes) -> bytes:
+        if self._key.exhausted:
+            self._rotate()
+        self._seq += 1
+        head = _HEAD.pack(SCHEME_HORS, self._seq)
+        gen = struct.pack("<I", self._generation)
+        sig = self._key.sign(head + gen + packet)
+        sig_bytes = sig.encode()
+        return (
+            head + gen + struct.pack("<H", len(sig_bytes)) + sig_bytes + packet
+        )
+
+    def unwrap(self, envelope: bytes) -> Optional[bytes]:
+        try:
+            scheme, seq = _HEAD.unpack_from(envelope, 0)
+            if scheme != SCHEME_HORS:
+                return None
+            offset = _HEAD.size
+            (gen,) = struct.unpack_from("<I", envelope, offset)
+            offset += 4
+            (sig_len,) = struct.unpack_from("<H", envelope, offset)
+            offset += 2
+            sig, _ = HorsSignature.decode(envelope[offset : offset + sig_len])
+            offset += sig_len
+            packet = envelope[offset:]
+        except (struct.error, IndexError):
+            return None
+        public_key = self._public_key_for(gen)
+        if public_key is None:
+            return None
+        message = (
+            envelope[: _HEAD.size] + struct.pack("<I", gen) + packet
+        )
+        if not verify(public_key, message, sig, k=self.k):
+            return None
+        if not self.window.accept(seq):
+            return None
+        return packet
+
+    def _public_key_for(self, generation: int):
+        # speakers track the sender's certified key; we accept the current
+        # and next generation (rotation races)
+        if generation == self._generation:
+            return self._key.public_key
+        if generation == self._generation + 1:
+            self._rotate()
+            return self._key.public_key
+        return None
+
+
+class SimulatedPkiAuthenticator:
+    """A conventional public-key signature scheme, cost-wise.
+
+    Functionally an HMAC (we are not implementing RSA), but charged at
+    honest early-2000s costs: ~10 ms of CPU to sign and ~0.5 ms to verify
+    on a 1 GHz machine.  On a 233 MHz speaker a garbage flood of these
+    verifications eats the CPU — the §5.1 infeasibility argument.
+    """
+
+    scheme = SCHEME_PKI
+    SIGN_CYCLES = 10_000_000.0
+    VERIFY_CYCLES = 500_000.0
+
+    def __init__(self, key: bytes, window: int = 128):
+        self._inner = HmacAuthenticator(key, window)
+
+    def sign_cycles(self, nbytes: int) -> float:
+        return self.SIGN_CYCLES
+
+    def verify_cycles(self, nbytes: int) -> float:
+        return self.VERIFY_CYCLES
+
+    def wrap(self, packet: bytes) -> bytes:
+        wrapped = self._inner.wrap(packet)
+        return _HEAD.pack(SCHEME_PKI, 0) + wrapped
+
+    def unwrap(self, envelope: bytes) -> Optional[bytes]:
+        if len(envelope) < _HEAD.size:
+            return None
+        scheme, _ = _HEAD.unpack_from(envelope, 0)
+        if scheme != SCHEME_PKI:
+            return None
+        return self._inner.unwrap(envelope[_HEAD.size :])

@@ -1,0 +1,127 @@
+"""HORS few-time signatures (Reyzin & Reyzin, "Better than BiBa").
+
+The paper cites this construction as the kind of "fast signing and
+verification" scheme that makes per-packet authentication of an audio
+stream practical (§5.1).  Implemented from scratch over SHA-256:
+
+* private key: ``t`` random strings ``s_0..s_{t-1}``;
+* public key: their hashes ``H(s_i)``;
+* signature of ``m``: split ``H(m)`` into ``k`` chunks of ``log2(t)``
+  bits, each chunk selects an index; reveal the ``k`` selected ``s_i``.
+
+Verification is ``k+1`` hash evaluations — orders of magnitude cheaper
+than a modular-exponentiation signature, which is the entire point.
+A key pair is safe for a limited number of signatures (revealing elements
+leaks the key gradually), so stream senders rotate keys and certify each
+new public key with the CA (:mod:`repro.security.keys`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+def _h(data: bytes) -> bytes:
+    return hashlib.sha256(data).digest()
+
+
+@dataclass(frozen=True)
+class HorsSignature:
+    """k (index, preimage) pairs."""
+
+    elements: Tuple[Tuple[int, bytes], ...]
+
+    def encode(self) -> bytes:
+        parts = [struct.pack("<H", len(self.elements))]
+        for index, preimage in self.elements:
+            parts.append(struct.pack("<H", index))
+            parts.append(preimage)
+        return b"".join(parts)
+
+    @classmethod
+    def decode(cls, data: bytes) -> Tuple["HorsSignature", int]:
+        (count,) = struct.unpack_from("<H", data, 0)
+        offset = 2
+        elements = []
+        for _ in range(count):
+            (index,) = struct.unpack_from("<H", data, offset)
+            offset += 2
+            elements.append((index, data[offset : offset + 32]))
+            offset += 32
+        return cls(elements=tuple(elements)), offset
+
+
+class HorsKeyPair:
+    """One HORS key pair.  ``t`` must be a power of two."""
+
+    def __init__(self, seed: bytes, t: int = 256, k: int = 16):
+        if t & (t - 1) or t < 2:
+            raise ValueError("t must be a power of two >= 2")
+        if k < 1 or k > 64:
+            raise ValueError("k out of range")
+        self.t = t
+        self.k = k
+        self._secrets: List[bytes] = [
+            _h(seed + struct.pack("<I", i)) for i in range(t)
+        ]
+        self.public_key: Tuple[bytes, ...] = tuple(
+            _h(s) for s in self._secrets
+        )
+        self.signatures_issued = 0
+        #: conservative use limit before the revealed elements make
+        #: forgery plausible
+        self.max_signatures = max(1, t // (4 * k))
+
+    def _indices(self, message: bytes) -> List[int]:
+        digest = _h(message)
+        bits_per = (self.t - 1).bit_length()
+        out = []
+        bitpos = 0
+        while len(out) < self.k:
+            byte = bitpos // 8
+            if byte + 4 > len(digest):
+                digest = digest + _h(digest)
+            window = int.from_bytes(digest[byte : byte + 4], "big")
+            shift = 32 - bits_per - (bitpos % 8)
+            out.append((window >> shift) & (self.t - 1))
+            bitpos += bits_per
+        return out
+
+    def sign(self, message: bytes) -> HorsSignature:
+        self.signatures_issued += 1
+        return HorsSignature(
+            elements=tuple(
+                (i, self._secrets[i]) for i in self._indices(message)
+            )
+        )
+
+    @property
+    def exhausted(self) -> bool:
+        return self.signatures_issued >= self.max_signatures
+
+    def public_key_digest(self) -> bytes:
+        """A compact commitment to the public key (hash of all elements)."""
+        return _h(b"".join(self.public_key))
+
+
+def verify(
+    public_key: Tuple[bytes, ...], message: bytes, sig: HorsSignature,
+    k: int = 16,
+) -> bool:
+    """Check a HORS signature against a full public key."""
+    t = len(public_key)
+    if len(sig.elements) != k:
+        return False
+    expected = HorsKeyPair.__new__(HorsKeyPair)
+    expected.t = t
+    expected.k = k
+    indices = expected._indices(message)
+    for (index, preimage), want in zip(sig.elements, indices):
+        if index != want:
+            return False
+        if _h(preimage) != public_key[index]:
+            return False
+    return True

@@ -1,0 +1,85 @@
+"""The Certification Authority whose key lives in speaker NVRAM (§5.1).
+
+"We are considering taking advantage of the non-volatile RAM on each
+machine to store a Certification Authority key that may be used for the
+verification of the audio stream."
+
+The CA holds a long-lived secret; its "public key" is the secret's hash
+commitment plus an HMAC-verification oracle realised as hash chains.  To
+stay entirely within from-scratch hash primitives, the CA certifies stream
+public keys with its own HORS key pair (rotating as pairs exhaust), and
+speakers pin the *digest* of the CA's current public key in NVRAM — the
+digest is refreshed out of band (a flash reprogramming, in the paper's
+terms) when the CA rolls over.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.security.hors import HorsKeyPair, HorsSignature, verify
+
+
+@dataclass(frozen=True)
+class StreamCertificate:
+    """CA's endorsement of a stream's HORS public key."""
+
+    channel_id: int
+    stream_public_key: Tuple[bytes, ...]
+    signature: HorsSignature
+    ca_public_key: Tuple[bytes, ...]
+
+    def message(self) -> bytes:
+        return (
+            struct.pack("<H", self.channel_id)
+            + b"".join(self.stream_public_key)
+        )
+
+
+class CertificationAuthority:
+    """Issues certificates for stream keys; speakers pin its key digest."""
+
+    def __init__(self, seed: bytes = b"es-ca", t: int = 1024, k: int = 16):
+        self._seed = seed
+        self._t = t
+        self._k = k
+        self._generation = 0
+        self._key = HorsKeyPair(seed + b"|0", t=t, k=k)
+
+    @property
+    def public_key(self) -> Tuple[bytes, ...]:
+        return self._key.public_key
+
+    def public_key_digest(self) -> bytes:
+        """What gets burned into each speaker's NVRAM."""
+        return hashlib.sha256(b"".join(self._key.public_key)).digest()
+
+    def certify(
+        self, channel_id: int, stream_public_key: Tuple[bytes, ...]
+    ) -> StreamCertificate:
+        if self._key.exhausted:
+            self._generation += 1
+            self._key = HorsKeyPair(
+                self._seed + b"|%d" % self._generation, t=self._t, k=self._k
+            )
+        message = struct.pack("<H", channel_id) + b"".join(stream_public_key)
+        return StreamCertificate(
+            channel_id=channel_id,
+            stream_public_key=stream_public_key,
+            signature=self._key.sign(message),
+            ca_public_key=self._key.public_key,
+        )
+
+
+def validate_certificate(
+    cert: StreamCertificate, pinned_ca_digest: bytes, k: int = 16
+) -> bool:
+    """What a speaker does with a certificate: check the embedded CA key
+    against the NVRAM-pinned digest, then check the signature."""
+    digest = hashlib.sha256(b"".join(cert.ca_public_key)).digest()
+    if digest != pinned_ca_digest:
+        return False
+    return verify(cert.ca_public_key, cert.message(), cert.signature, k=k)

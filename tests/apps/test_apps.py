@@ -1,0 +1,189 @@
+"""Off-the-shelf application simulacra: players, radio client, time shift."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    Mp3PlayerApp,
+    StreamingClientApp,
+    TimeShiftRecorder,
+    TonePlayerApp,
+    WanRadioServer,
+    replay_recording,
+)
+from repro.audio import (
+    AudioEncoding,
+    AudioParams,
+    music,
+    read_wav,
+    sine,
+    snr_db,
+)
+from repro.codec import Mp3LikeFile
+from repro.kernel import (
+    AudioDevice,
+    HardwareAudioDriver,
+    Machine,
+    SpeakerSink,
+    VadPair,
+)
+from repro.net import WanLink
+from repro.sim import Simulator
+
+PARAMS = AudioParams(AudioEncoding.SLINEAR16, 8000, 1)
+
+
+def machine_with_audio(sim, freq=500e6):
+    m = Machine(sim, "host", cpu_freq_hz=freq)
+    sink = SpeakerSink()
+    hw = HardwareAudioDriver(m, sink)
+    m.register_device("/dev/audio", AudioDevice(m, hw))
+    return m, sink
+
+
+def test_tone_player_plays_through_hardware():
+    sim = Simulator()
+    m, sink = machine_with_audio(sim)
+    x = sine(440, 1.0, 8000)
+    TonePlayerApp(m, x, PARAMS).start()
+    sim.run()
+    assert snr_db(x, sink.waveform()[: len(x)]) > 30
+
+
+def test_mp3_player_decodes_to_hardware():
+    sim = Simulator()
+    m, sink = machine_with_audio(sim)
+    x = music(2.0, 44100, seed=20)
+    mp3 = Mp3LikeFile.encode(x, 44100, bitrate_kbps=256).to_bytes()
+    app = Mp3PlayerApp(m, mp3)
+    app.start()
+    sim.run()
+    assert app.blocks_played == len(Mp3LikeFile.from_bytes(mp3).blocks)
+    out = sink.waveform()
+    assert snr_db(x, out[: len(x)]) > 15  # lossy source, but recognisable
+
+
+def test_mp3_player_charges_decode_cpu():
+    sim = Simulator()
+    m, sink = machine_with_audio(sim)
+    x = music(1.0, 44100, seed=21)
+    mp3 = Mp3LikeFile.encode(x, 44100).to_bytes()
+    Mp3PlayerApp(m, mp3).start()
+    sim.run()
+    assert m.cpu.stats.domain_seconds["user"] > 0
+
+
+def test_mp3_player_on_vad_runs_at_wire_speed():
+    """§3.1: pointed at the VAD instead of real hardware, the same
+    unmodified player finishes a long file almost instantly."""
+    sim = Simulator()
+    m = Machine(sim, "producer")
+    VadPair(m)
+    x = music(30.0, 44100, seed=22)
+    mp3 = Mp3LikeFile.encode(x, 44100).to_bytes()
+
+    drained = []
+
+    def drain():
+        fd = yield from m.sys_open("/dev/vadm")
+        while True:
+            rec = yield from m.sys_read(fd, 65536)
+            drained.append(rec)
+
+    m.spawn(drain())
+    app = Mp3PlayerApp(m, mp3, device_path="/dev/vads", drain=False)
+    proc = app.start()
+    sim.run(until=30.0)
+    assert not proc.alive
+    # finished way before the 30 s of audio would take to play
+    data_bytes = sum(len(r.payload) for r in drained if r.kind == "data")
+    assert data_bytes > 0.9 * len(x) * 2
+
+
+def test_wan_radio_end_to_end():
+    sim = Simulator()
+    m, sink = machine_with_audio(sim)
+    x = music(4.0, 44100, seed=23)
+    mp3 = Mp3LikeFile.encode(x, 44100, block_seconds=0.5).to_bytes()
+    wan = WanLink(sim, bandwidth_bps=1.5e6, latency=0.08, jitter=0.04, seed=5)
+    server = WanRadioServer(sim, wan, mp3)
+    client = StreamingClientApp(m, server)
+    server.start()
+    client.start()
+    sim.run(until=20.0)
+    assert client.blocks_played == len(server.file.blocks)
+    out = sink.waveform()
+    assert snr_db(x, out[: len(x)]) > 12
+
+
+def test_wan_radio_is_live_paced():
+    """A live source takes stream-duration wall time, unlike a file."""
+    sim = Simulator()
+    m, sink = machine_with_audio(sim)
+    x = music(4.0, 44100, seed=23)
+    mp3 = Mp3LikeFile.encode(x, 44100, block_seconds=0.5).to_bytes()
+    wan = WanLink(sim, jitter=0.0)
+    server = WanRadioServer(sim, wan, mp3)
+    client = StreamingClientApp(m, server)
+    server.start()
+    proc = client.start()
+    sim.run(until=30.0)
+    assert not proc.alive
+    assert sim.now >= 4.0  # couldn't finish faster than real time
+
+
+def test_time_shift_record_and_replay(tmp_path):
+    """§3.3: record a stream via the VAD master, play it back later."""
+    sim = Simulator()
+    producer = Machine(sim, "producer")
+    VadPair(producer)
+    recorder = TimeShiftRecorder(producer)
+    recorder.start()
+    x = sine(440, 2.0, 8000)
+    TonePlayerApp(producer, x, PARAMS, device_path="/dev/vads",
+                  drain=False).start()
+    sim.run(until=5.0)
+    rec = recorder.recording
+    assert rec.duration == pytest.approx(2.0, abs=0.1)
+    assert snr_db(x, rec.waveform()[: len(x)]) > 40
+
+    # replay on a different machine with real audio hardware
+    m2, sink = machine_with_audio(sim)
+    replay_recording(m2, rec)
+    sim.run()
+    assert snr_db(x, sink.waveform()[: len(x)]) > 30
+
+    # and export to WAV
+    path = tmp_path / "shifted.wav"
+    rec.export_wav(path)
+    samples, rate = read_wav(path)
+    assert rate == 8000
+    assert snr_db(x, samples[: len(x), 0]) > 30
+
+
+def test_recorder_captures_reconfiguration():
+    sim = Simulator()
+    producer = Machine(sim, "producer")
+    VadPair(producer)
+    recorder = TimeShiftRecorder(producer)
+    recorder.start()
+    p2 = AudioParams(AudioEncoding.ULAW, 8000, 1)
+    TonePlayerApp(producer, sine(440, 0.5, 8000), PARAMS,
+                  device_path="/dev/vads", drain=False).start()
+
+    def second():
+        yield from ()
+
+    sim.run(until=2.0)
+    TonePlayerApp(producer, sine(220, 0.5, 8000), p2,
+                  device_path="/dev/vads", drain=False).start()
+    sim.run(until=4.0)
+    params_seen = {p for p, _ in recorder.recording.segments}
+    assert params_seen == {PARAMS, p2}
+
+
+def test_empty_recording_export_rejected():
+    from repro.apps.recorder import Recording
+
+    with pytest.raises(ValueError):
+        Recording().export_wav("/tmp/nope.wav")

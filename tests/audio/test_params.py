@@ -1,0 +1,74 @@
+"""AudioParams arithmetic — the basis of the rate limiter (§3.1)."""
+
+import pytest
+
+from repro.audio import CD_QUALITY, PHONE_QUALITY, AudioEncoding, AudioParams
+
+
+def test_cd_quality_rate_matches_paper():
+    """§2.2: raw CD-quality audio is ~1.3 Mbps on the wire."""
+    assert CD_QUALITY.bytes_per_second == 176400
+    assert CD_QUALITY.bits_per_second == pytest.approx(1.41e6, rel=0.01)
+
+
+def test_phone_quality_rate():
+    assert PHONE_QUALITY.bytes_per_second == 8000
+    assert PHONE_QUALITY.bits_per_second == 64000
+
+
+def test_frame_bytes():
+    assert CD_QUALITY.frame_bytes == 4  # 16-bit stereo
+    assert PHONE_QUALITY.frame_bytes == 1  # 8-bit mono
+
+
+def test_duration_of_inverts_bytes_for():
+    for params in (CD_QUALITY, PHONE_QUALITY):
+        nbytes = params.bytes_for(2.5)
+        assert params.duration_of(nbytes) == pytest.approx(2.5)
+
+
+def test_five_minute_song_is_five_minutes_of_bytes():
+    """§3.1's title question: a 5-minute song at CD quality."""
+    nbytes = CD_QUALITY.bytes_for(300.0)
+    assert CD_QUALITY.duration_of(nbytes) == pytest.approx(300.0)
+    assert nbytes == 300 * 176400
+
+
+def test_bytes_for_is_frame_aligned():
+    nbytes = CD_QUALITY.bytes_for(0.01001)
+    assert nbytes % CD_QUALITY.frame_bytes == 0
+
+
+def test_precision_by_encoding():
+    assert AudioEncoding.SLINEAR16.precision == 16
+    assert AudioEncoding.ULAW.precision == 8
+    assert AudioEncoding.ALAW.precision == 8
+
+
+def test_wire_ids_round_trip():
+    for enc in AudioEncoding:
+        assert AudioEncoding.from_wire_id(enc.wire_id) is enc
+
+
+def test_unknown_wire_id_rejected():
+    with pytest.raises(ValueError):
+        AudioEncoding.from_wire_id(99)
+
+
+def test_invalid_params_rejected():
+    with pytest.raises(ValueError):
+        AudioParams(sample_rate=0)
+    with pytest.raises(ValueError):
+        AudioParams(channels=3)
+
+
+def test_params_hashable_and_frozen():
+    p = AudioParams()
+    assert hash(p) == hash(AudioParams())
+    with pytest.raises(Exception):
+        p.sample_rate = 8000
+
+
+def test_describe_mentions_key_fields():
+    text = CD_QUALITY.describe()
+    assert "44100" in text and "16bit" in text and "stereo" in text

@@ -1,0 +1,194 @@
+"""Signal generators, WAV I/O, analysis metrics, room model."""
+
+import numpy as np
+import pytest
+
+from repro.audio import (
+    announcement,
+    chirp,
+    discontinuity_count,
+    music,
+    pink_noise,
+    read_wav,
+    rms_level,
+    segmental_snr_db,
+    silence,
+    silence_ratio,
+    sine,
+    snr_db,
+    speech_like,
+    white_noise,
+    write_wav,
+)
+from repro.audio.room import AmbientProfile, Room
+
+
+# -- generators -----------------------------------------------------------------
+
+
+def test_sine_frequency_via_zero_crossings():
+    x = sine(440.0, 1.0, 44100)
+    crossings = np.sum(np.diff(np.signbit(x)))
+    assert crossings == pytest.approx(880, abs=2)
+
+
+def test_sine_amplitude_and_length():
+    x = sine(100.0, 0.5, 8000, amplitude=0.25)
+    assert len(x) == 4000
+    assert np.max(np.abs(x)) == pytest.approx(0.25, rel=0.01)
+
+
+def test_silence_is_zero():
+    assert np.all(silence(0.1, 8000) == 0)
+    assert len(silence(0.1, 8000)) == 800
+
+
+def test_chirp_sweeps_upward():
+    x = chirp(100.0, 1000.0, 2.0, 8000)
+    half = len(x) // 2
+    early = np.sum(np.diff(np.signbit(x[:half])))
+    late = np.sum(np.diff(np.signbit(x[half:])))
+    assert late > early * 1.5
+
+
+def test_noise_generators_are_seed_deterministic():
+    assert np.array_equal(white_noise(0.1, seed=7), white_noise(0.1, seed=7))
+    assert not np.array_equal(white_noise(0.1, seed=7), white_noise(0.1, seed=8))
+    assert np.array_equal(music(0.5, seed=3), music(0.5, seed=3))
+
+
+def test_pink_noise_has_more_low_frequency_energy():
+    x = pink_noise(2.0, 8000, seed=1)
+    spectrum = np.abs(np.fft.rfft(x)) ** 2
+    low = spectrum[1:100].sum()
+    high = spectrum[-100:].sum()
+    assert low > high * 5
+
+
+def test_music_and_speech_in_range_and_nonsilent():
+    for gen in (music, speech_like):
+        x = gen(1.0, 8000, seed=0)
+        assert np.max(np.abs(x)) <= 1.0
+        assert rms_level(x) > 0.01
+
+
+def test_announcement_starts_with_chime():
+    x = announcement(2.0, 8000)
+    # The chime is a pure 880 Hz tone: dominant bin in the first 0.25 s.
+    head = x[: 2000]
+    spectrum = np.abs(np.fft.rfft(head))
+    peak_freq = np.argmax(spectrum) * 8000 / len(head)
+    assert peak_freq == pytest.approx(880, abs=15)
+
+
+# -- analysis -------------------------------------------------------------------
+
+
+def test_snr_identical_is_infinite():
+    x = sine(440, 0.1)
+    assert snr_db(x, x) == float("inf")
+
+
+def test_snr_known_noise_level():
+    x = sine(440, 0.5, 8000, amplitude=0.5)
+    noisy = x + 0.005 * white_noise(0.5, 8000, amplitude=1.0, seed=2)[: len(x)]
+    measured = snr_db(x, noisy)
+    assert 30 < measured < 50
+
+
+def test_snr_decreases_with_more_noise():
+    x = sine(440, 0.5, 8000)
+    n = white_noise(0.5, 8000, seed=3)[: len(x)]
+    assert snr_db(x, x + 0.001 * n) > snr_db(x, x + 0.1 * n)
+
+
+def test_segmental_snr_detects_localised_damage():
+    x = music(2.0, 8000, seed=5)
+    damaged = x.copy()
+    damaged[4000:6000] = 0.0  # one silent hole
+    assert segmental_snr_db(x, x) == pytest.approx(80.0)  # every segment at ceiling
+    assert segmental_snr_db(x, damaged) < 79  # pulled below the ceiling
+
+
+def test_segmental_snr_weights_quiet_passages():
+    """Constant additive noise hurts quiet segments: segmental SNR reads
+    lower than the energy-weighted global SNR."""
+    loud = sine(300, 1.0, 8000, amplitude=0.9)
+    quiet = sine(300, 1.0, 8000, amplitude=0.02)
+    x = np.concatenate([loud, quiet])
+    noise = 0.005 * white_noise(2.0, 8000, amplitude=1.0, seed=9)[: len(x)]
+    assert segmental_snr_db(x, x + noise) < snr_db(x, x + noise)
+
+
+def test_silence_ratio():
+    x = np.concatenate([np.zeros(500), 0.5 * np.ones(500)])
+    assert silence_ratio(x) == pytest.approx(0.5)
+
+
+def test_discontinuity_count_detects_splices():
+    x = sine(100, 1.0, 8000)
+    spliced = np.concatenate([x[:2000], x[4100:]])  # phase-breaking cut
+    assert discontinuity_count(spliced, jump=0.5) >= 1
+    assert discontinuity_count(x, jump=0.5) == 0
+
+
+def test_rms_level_of_sine():
+    assert rms_level(sine(440, 1.0, amplitude=1.0)) == pytest.approx(
+        1 / np.sqrt(2), rel=0.01
+    )
+
+
+# -- WAV ---------------------------------------------------------------------------
+
+
+def test_wav_round_trip_mono(tmp_path):
+    x = sine(440, 0.25, 8000)
+    path = tmp_path / "tone.wav"
+    write_wav(path, x, 8000)
+    y, rate = read_wav(path)
+    assert rate == 8000
+    assert y.shape == (len(x), 1)
+    assert np.max(np.abs(y[:, 0] - x)) < 1e-3
+
+
+def test_wav_round_trip_stereo(tmp_path):
+    x = np.stack([sine(440, 0.1, 8000), sine(220, 0.1, 8000)], axis=1)
+    path = tmp_path / "stereo.wav"
+    write_wav(path, x, 8000)
+    y, rate = read_wav(path)
+    assert y.shape == x.shape
+    assert np.max(np.abs(y - x)) < 1e-3
+
+
+def test_wav_rejects_garbage(tmp_path):
+    path = tmp_path / "bad.wav"
+    path.write_bytes(b"not a wave file at all")
+    with pytest.raises(ValueError):
+        read_wav(path)
+
+
+# -- room ---------------------------------------------------------------------------
+
+
+def test_room_mic_hears_ambient():
+    room = Room(AmbientProfile.constant(0.3), coupling=0.5)
+    assert room.mic_rms(0.0) == pytest.approx(0.3)
+
+
+def test_room_mic_mixes_speaker_output():
+    room = Room(AmbientProfile.constant(0.3), coupling=0.5)
+    room.speaker_rms = 0.8
+    expected = ((0.5 * 0.8) ** 2 + 0.3**2) ** 0.5
+    assert room.mic_rms(0.0) == pytest.approx(expected)
+
+
+def test_ambient_profile_steps():
+    prof = AmbientProfile(steps=[(0.0, 0.1), (10.0, 0.6)])
+    assert prof.level_at(5.0) == 0.1
+    assert prof.level_at(10.0) == 0.6
+    assert prof.level_at(50.0) == 0.6
+
+
+def test_room_rejects_bad_coupling():
+    with pytest.raises(ValueError):
+        Room(coupling=1.5)

@@ -1,0 +1,168 @@
+"""ADPCM and Mp3Like codecs; tandem-coding behaviour; cost model."""
+
+import numpy as np
+import pytest
+
+from repro.audio import music, sine, snr_db, speech_like
+from repro.codec import (
+    AdpcmCodec,
+    CodecID,
+    DEFAULT_COSTS,
+    Mp3LikeCodec,
+    Mp3LikeFile,
+    VorbisLikeCodec,
+)
+from repro.codec.cost import estimated_ratio
+
+
+# -- ADPCM ------------------------------------------------------------------------
+
+
+def test_adpcm_round_trip_tone():
+    x = sine(440, 0.25, 8000, amplitude=0.5)
+    codec = AdpcmCodec()
+    out = codec.decode_block(codec.encode_block(x))
+    assert out.shape == (len(x), 1)
+    assert snr_db(x, out[:, 0]) > 20
+
+
+def test_adpcm_is_roughly_4_to_1():
+    x = speech_like(0.5, 8000, seed=2)
+    blob = AdpcmCodec().encode_block(x)
+    raw16 = len(x) * 2
+    assert raw16 / len(blob) > 3.5
+
+
+def test_adpcm_stereo():
+    x = np.stack([sine(300, 0.1, 8000), sine(500, 0.1, 8000)], axis=1)
+    out = AdpcmCodec().decode_block(AdpcmCodec().encode_block(x))
+    assert out.shape == x.shape
+    assert snr_db(x[:, 1], out[:, 1]) > 15
+
+
+def test_adpcm_odd_sample_count():
+    x = sine(440, 101 / 8000, 8000)
+    out = AdpcmCodec().decode_block(AdpcmCodec().encode_block(x))
+    assert out.shape == (101, 1)
+
+
+def test_adpcm_rejects_foreign_block():
+    with pytest.raises(ValueError):
+        AdpcmCodec().decode_block(VorbisLikeCodec().encode_block(sine(440, 0.01)))
+
+
+# -- Mp3Like --------------------------------------------------------------------------
+
+
+def test_mp3like_round_trip():
+    x = music(1.0, 44100, seed=4)
+    codec = Mp3LikeCodec(bitrate_kbps=256)
+    out = codec.decode_block(codec.encode_block(x))
+    assert out.shape == (len(x), 1)
+    assert snr_db(x, out[:, 0]) > 15
+
+
+def test_mp3like_higher_bitrate_higher_fidelity():
+    x = music(1.0, 44100, seed=5)
+    snrs = []
+    for kbps in (96, 192, 320):
+        codec = Mp3LikeCodec(bitrate_kbps=kbps)
+        out = codec.decode_block(codec.encode_block(x))
+        snrs.append(snr_db(x, out[:, 0]))
+    assert snrs[0] < snrs[1] < snrs[2]
+
+
+def test_mp3like_size_tracks_bitrate():
+    x = music(1.0, 44100, seed=5)
+    small = len(Mp3LikeCodec(96).encode_block(x))
+    big = len(Mp3LikeCodec(320).encode_block(x))
+    assert small < big
+
+
+def test_mp3like_rejects_unknown_bitrate():
+    with pytest.raises(ValueError):
+        Mp3LikeCodec(bitrate_kbps=200)
+
+
+def test_mp3like_file_round_trip():
+    x = music(2.0, 44100, seed=6)
+    f = Mp3LikeFile.encode(x, 44100, bitrate_kbps=192)
+    restored = Mp3LikeFile.from_bytes(f.to_bytes())
+    assert restored.sample_rate == 44100
+    assert restored.bitrate_kbps == 192
+    assert len(restored.blocks) == len(f.blocks)
+    decoded = restored.decode_all()
+    assert decoded.shape == (len(x), 1)
+    assert snr_db(x, decoded[:, 0]) > 15
+
+
+def test_mp3like_file_rejects_garbage():
+    with pytest.raises(ValueError):
+        Mp3LikeFile.from_bytes(b"RIFFnope" + b"\x00" * 20)
+
+
+# -- tandem coding (§2.2) ------------------------------------------------------------
+
+
+def test_tandem_loss_bounded_at_max_quality():
+    """MP3-like then Vorbis-like at q=10: the second codec should not make
+    things much worse — 'the best one can hope for would be that the audio
+    quality would not get any worse'."""
+    x = music(1.5, 44100, seed=10)
+    mp3 = Mp3LikeCodec(192)
+    stage1 = mp3.decode_block(mp3.encode_block(x))[:, 0]
+    vorb = VorbisLikeCodec(quality=10)
+    stage2 = vorb.decode_block(vorb.encode_block(stage1))[:, 0]
+    snr_one = snr_db(x, stage1)
+    snr_two = snr_db(x, stage2)
+    assert snr_two > snr_one - 3.0  # within 3 dB of single-codec quality
+
+
+def test_tandem_loss_severe_at_low_quality():
+    """At a low quality index the second lossy stage visibly compounds."""
+    x = music(1.5, 44100, seed=10)
+    mp3 = Mp3LikeCodec(192)
+    stage1 = mp3.decode_block(mp3.encode_block(x))[:, 0]
+    vorb = VorbisLikeCodec(quality=2)
+    stage2 = vorb.decode_block(vorb.encode_block(stage1))[:, 0]
+    assert snr_db(x, stage2) < snr_db(x, stage1) - 3.0
+
+
+# -- cost model ---------------------------------------------------------------------------
+
+
+def test_cost_model_encode_grows_with_quality():
+    model = DEFAULT_COSTS[CodecID.VORBIS_LIKE]
+    assert model.encode_cycles(1000, 10) > model.encode_cycles(1000, 0)
+
+
+def test_cost_model_decode_cheaper_than_encode():
+    for codec_id in (CodecID.VORBIS_LIKE, CodecID.MP3_LIKE, CodecID.ADPCM):
+        model = DEFAULT_COSTS[codec_id]
+        assert model.decode_cycles(1000) < model.encode_cycles(1000)
+
+
+def test_raw_cost_is_trivial():
+    raw = DEFAULT_COSTS[CodecID.RAW]
+    vorb = DEFAULT_COSTS[CodecID.VORBIS_LIKE]
+    assert raw.encode_cycles(1000) < 0.05 * vorb.encode_cycles(1000, 10)
+
+
+def test_estimated_ratio_matches_measured_vorbislike():
+    """The simulated-payload ratio should track the real encoder within a
+    factor usable for bandwidth experiments."""
+    x = music(1.5, 44100, seed=11)
+    stereo = np.stack([x, music(1.5, 44100, seed=12)], axis=1)
+    for quality in (4, 10):
+        measured = len(
+            VorbisLikeCodec(quality=quality).encode_block(stereo)
+        ) / (len(x) * 4)
+        estimate = estimated_ratio(CodecID.VORBIS_LIKE, quality)
+        assert 0.4 * measured < estimate < 2.5 * measured
+
+
+def test_estimated_ratio_known_values():
+    assert estimated_ratio(CodecID.RAW) == 1.0
+    assert estimated_ratio(CodecID.ADPCM) < 0.3
+    with pytest.raises(ValueError):
+        estimated_ratio(99)

@@ -1,0 +1,95 @@
+"""MDCT: perfect reconstruction, critical sampling, windows."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codec.mdct import (
+    imdct,
+    mdct,
+    mdct_analysis,
+    mdct_synthesis,
+    sine_window,
+)
+
+
+def test_sine_window_satisfies_princen_bradley():
+    w = sine_window(1024)
+    n = 512
+    assert np.allclose(w[:n] ** 2 + w[n:] ** 2, 1.0)
+
+
+def test_mdct_is_critically_sampled():
+    x = np.random.default_rng(1).standard_normal(4096)
+    coeffs, length = mdct_analysis(x, 512)
+    # 4096 samples -> 8 content frames + 1 for the tail padding
+    assert coeffs.shape == (9, 512)
+    assert length == 4096
+
+
+def test_perfect_reconstruction_random_signal():
+    x = np.random.default_rng(2).standard_normal(5000)
+    coeffs, length = mdct_analysis(x, 512)
+    y = mdct_synthesis(coeffs, length)
+    assert y.shape == x.shape
+    assert np.max(np.abs(y - x)) < 1e-10
+
+
+def test_perfect_reconstruction_non_multiple_length():
+    x = np.random.default_rng(3).standard_normal(777)
+    coeffs, length = mdct_analysis(x, 256)
+    y = mdct_synthesis(coeffs, length)
+    assert np.max(np.abs(y - x)) < 1e-10
+
+
+def test_reconstruction_various_frame_sizes():
+    x = np.random.default_rng(4).standard_normal(2048)
+    for n in (64, 128, 512, 1024):
+        coeffs, length = mdct_analysis(x, n)
+        assert np.max(np.abs(mdct_synthesis(coeffs, length) - x)) < 1e-10
+
+
+def test_sine_input_concentrates_energy():
+    """A pure tone's energy should land in very few MDCT bins."""
+    rate, n = 44100, 512
+    t = np.arange(8192) / rate
+    x = np.sin(2 * np.pi * 1000.0 * t)
+    coeffs, _ = mdct_analysis(x, n)
+    frame = coeffs[4]  # interior frame, away from padding edges
+    power = frame**2
+    top4 = np.sort(power)[-4:].sum()
+    assert top4 / power.sum() > 0.95
+
+
+def test_mdct_linearity():
+    rng = np.random.default_rng(5)
+    a = rng.standard_normal((3, 1024))
+    b = rng.standard_normal((3, 1024))
+    assert np.allclose(mdct(a + 2 * b), mdct(a) + 2 * mdct(b))
+
+
+def test_imdct_is_adjoint_shape():
+    coeffs = np.random.default_rng(6).standard_normal((2, 512))
+    out = imdct(coeffs)
+    assert out.shape == (2, 1024)
+
+
+def test_empty_signal():
+    coeffs, length = mdct_analysis(np.zeros(0), 256)
+    assert length == 0
+    y = mdct_synthesis(coeffs, 0)
+    assert len(y) == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=2000),
+    st.integers(min_value=0, max_value=2**31),
+)
+def test_property_perfect_reconstruction(length, seed):
+    """TDAC holds for arbitrary lengths and content."""
+    x = np.random.default_rng(seed).uniform(-1, 1, length)
+    coeffs, n = mdct_analysis(x, 128)
+    y = mdct_synthesis(coeffs, n)
+    assert np.max(np.abs(y - x)) < 1e-9

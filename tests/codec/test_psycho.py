@@ -1,0 +1,93 @@
+"""Psychoacoustic model: band partitions, masking, allocation."""
+
+import numpy as np
+import pytest
+
+from repro.codec.psycho import PsychoModel, band_edges, bark
+
+
+def test_bark_is_monotone():
+    freqs = np.linspace(0, 22050, 100)
+    z = bark(freqs)
+    assert np.all(np.diff(z) > 0)
+
+
+def test_bark_known_values():
+    # ~1 kHz is ~8.5 Bark; ~15.5 kHz is ~24 Bark (classic table values)
+    assert bark(np.array([1000.0]))[0] == pytest.approx(8.5, abs=0.6)
+    assert bark(np.array([15500.0]))[0] == pytest.approx(24.0, abs=1.0)
+
+
+def test_band_edges_cover_all_bins():
+    edges = band_edges(44100, 512)
+    assert edges[0] == 0
+    assert edges[-1] == 512
+    assert np.all(np.diff(edges) > 0)
+
+
+def test_band_edges_wider_at_high_frequency():
+    edges = np.asarray(band_edges(44100, 512))
+    widths = np.diff(edges)
+    assert widths[-1] > widths[0]
+
+
+def test_band_energies_sum_matches_total_power():
+    model = PsychoModel(44100, 512)
+    frame = np.random.default_rng(0).standard_normal(512)
+    energies = model.band_energies(frame)
+    counts = np.diff(model.edges)
+    assert (energies * counts).sum() == pytest.approx((frame**2).sum())
+
+
+def test_masking_threshold_below_band_energy():
+    model = PsychoModel(44100, 512)
+    energies = np.ones(model.n_bands)
+    thresholds = model.masking_threshold(energies)
+    assert np.all(thresholds < energies)
+
+
+def test_masking_spreads_to_neighbours():
+    model = PsychoModel(44100, 512)
+    energies = np.zeros(model.n_bands)
+    energies[model.n_bands // 2] = 1.0
+    thresholds = model.masking_threshold(energies)
+    mid = model.n_bands // 2
+    assert thresholds[mid - 1] > thresholds[0]
+    assert thresholds[mid + 1] > thresholds[-1]
+    assert thresholds[mid] == thresholds.max()
+
+
+def test_allocation_monotone_in_quality():
+    model = PsychoModel(44100, 512)
+    frame = np.random.default_rng(1).standard_normal(512)
+    energies = model.band_energies(frame)
+    totals = [
+        model.allocate_widths(energies, q).sum() for q in range(11)
+    ]
+    assert all(b >= a for a, b in zip(totals, totals[1:]))
+    assert totals[10] > totals[0]
+
+
+def test_inaudible_bands_dropped():
+    model = PsychoModel(44100, 512)
+    energies = np.full(model.n_bands, 1e-30)
+    energies[0] = 1.0  # one loud band masks nothing far away, rest silent
+    widths = model.allocate_widths(energies, 5)
+    assert widths[0] > 0
+    assert widths[-1] == 0  # far-away silent band dropped
+
+
+def test_widths_bounded():
+    model = PsychoModel(44100, 512)
+    energies = np.full(model.n_bands, 1e6)
+    widths = model.allocate_widths(energies, 10)
+    assert np.all(widths <= 15)
+    assert np.all(widths >= 0)
+
+
+def test_bad_quality_rejected():
+    model = PsychoModel(44100, 512)
+    with pytest.raises(ValueError):
+        model.allocate_widths(np.ones(model.n_bands), 11)
+    with pytest.raises(ValueError):
+        model.allocate_widths(np.ones(model.n_bands), -1)

@@ -1,0 +1,64 @@
+"""Loss concealment: repeat-last-block vs the driver's silence insertion."""
+
+import numpy as np
+import pytest
+
+from repro.audio import AudioEncoding, AudioParams, sine
+from repro.core import EthernetSpeakerSystem
+
+LOW = AudioParams(AudioEncoding.SLINEAR16, 8000, 1)
+
+
+def run_lossy(conceal: bool, loss_rate=0.10, seed=11):
+    system = EthernetSpeakerSystem(loss_rate=loss_rate, seed=seed)
+    producer = system.add_producer()
+    channel = system.add_channel("ch", params=LOW, compress="never")
+    system.add_rebroadcaster(producer, channel, control_interval=0.5)
+    node = system.add_speaker(channel=channel, conceal_losses=conceal)
+    system.play_pcm(producer, sine(220, 10.0, 8000), LOW)
+    system.run(until=14.0)
+    return node
+
+
+def test_concealment_fills_holes():
+    node = run_lossy(conceal=True)
+    assert node.stats.seq_gaps > 0
+    assert node.stats.concealed > 0
+    assert node.stats.concealed <= node.stats.seq_gaps * 3
+
+
+def test_concealment_reduces_silent_output():
+    concealed = run_lossy(conceal=True)
+    plain = run_lossy(conceal=False)
+    # both lost packets...
+    assert plain.stats.seq_gaps > 0
+    # ...but concealment keeps the DAC busier with audio
+    assert concealed.sink.audio_seconds > plain.sink.audio_seconds
+    assert concealed.device.silence_bytes < plain.device.silence_bytes
+
+
+def test_concealment_off_by_default():
+    node = run_lossy(conceal=False)
+    assert node.stats.concealed == 0
+
+
+def test_no_losses_no_concealment():
+    node = run_lossy(conceal=True, loss_rate=0.0)
+    assert node.stats.seq_gaps == 0
+    assert node.stats.concealed == 0
+
+
+def test_long_outage_capped():
+    """A multi-second outage repeats at most 3 blocks, then goes quiet."""
+    system = EthernetSpeakerSystem()
+    producer = system.add_producer()
+    channel = system.add_channel("ch", params=LOW, compress="never")
+    system.add_rebroadcaster(producer, channel, control_interval=0.5)
+    node = system.add_speaker(channel=channel, conceal_losses=True)
+    system.play_synthetic(producer, 12.0, LOW)
+    nic = node.machine.net.nic
+    system.sim.schedule(4.0, system.lan.detach, nic)
+    system.sim.schedule(8.0, system.lan.attach, nic)
+    system.run(until=15.0)
+    assert node.stats.seq_gaps > 10
+    assert node.stats.concealed == 3

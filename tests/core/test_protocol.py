@@ -1,0 +1,169 @@
+"""Wire-format round trips and robustness."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.audio import AudioEncoding, AudioParams
+from repro.codec import CodecID
+from repro.core.protocol import (
+    AnnounceEntry,
+    AnnouncePacket,
+    ControlPacket,
+    DataPacket,
+    ProtocolError,
+    parse_packet,
+)
+
+
+def test_control_round_trip():
+    pkt = ControlPacket(
+        channel_id=3,
+        seq=42,
+        wall_clock=123.456,
+        stream_pos=12.5,
+        params=AudioParams(AudioEncoding.SLINEAR16, 44100, 2),
+        codec_id=CodecID.VORBIS_LIKE,
+        quality=10,
+        name="lobby music",
+    )
+    out = parse_packet(pkt.encode())
+    assert out == pkt
+
+
+def test_data_round_trip():
+    pkt = DataPacket(
+        channel_id=1,
+        seq=7,
+        play_at=3.25,
+        payload=b"\x01\x02\x03" * 100,
+        codec_id=CodecID.RAW,
+        synthetic=False,
+        pcm_bytes=300,
+    )
+    out = parse_packet(pkt.encode())
+    assert out == pkt
+
+
+def test_data_synthetic_flag_round_trip():
+    pkt = DataPacket(1, 1, 0.0, b"x", CodecID.VORBIS_LIKE, True, 1000)
+    assert parse_packet(pkt.encode()).synthetic is True
+
+
+def test_announce_round_trip():
+    pkt = AnnouncePacket(
+        seq=5,
+        entries=(
+            AnnounceEntry(1, "239.192.0.1", 5001, CodecID.VORBIS_LIKE, "news"),
+            AnnounceEntry(2, "239.192.0.2", 5002, CodecID.RAW, "lobby"),
+        ),
+    )
+    out = parse_packet(pkt.encode())
+    assert out == pkt
+
+
+def test_empty_announce():
+    out = parse_packet(AnnouncePacket(seq=1).encode())
+    assert out.entries == ()
+
+
+def test_garbage_rejected():
+    with pytest.raises(ProtocolError):
+        parse_packet(b"not a packet at all, definitely")
+    with pytest.raises(ProtocolError):
+        parse_packet(b"\x00")
+    with pytest.raises(ProtocolError):
+        parse_packet(b"")
+
+
+def test_bad_magic_rejected():
+    good = DataPacket(1, 1, 0.0, b"x").encode()
+    with pytest.raises(ProtocolError):
+        parse_packet(b"\xff\xff" + good[2:])
+
+
+def test_bad_version_rejected():
+    good = DataPacket(1, 1, 0.0, b"x").encode()
+    bad = good[:2] + b"\x63" + good[3:]
+    with pytest.raises(ProtocolError):
+        parse_packet(bad)
+
+
+def test_unknown_type_rejected():
+    good = DataPacket(1, 1, 0.0, b"x").encode()
+    bad = good[:3] + b"\x09" + good[4:]
+    with pytest.raises(ProtocolError):
+        parse_packet(bad)
+
+
+def test_truncated_control_rejected():
+    wire = ControlPacket(
+        1, 1, 0.0, 0.0, AudioParams(), CodecID.RAW, 10, "name"
+    ).encode()
+    with pytest.raises(ProtocolError):
+        parse_packet(wire[: len(wire) // 2])
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=65535),
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.floats(min_value=0, max_value=1e6, allow_nan=False),
+    st.floats(min_value=0, max_value=1e6, allow_nan=False),
+    st.sampled_from(list(AudioEncoding)),
+    st.sampled_from([8000, 22050, 44100, 48000]),
+    st.sampled_from([1, 2]),
+    st.sampled_from(list(CodecID)),
+    st.integers(min_value=0, max_value=10),
+    st.text(max_size=60),
+)
+def test_property_control_round_trip(
+    channel_id, seq, wall, pos, enc, rate, channels, codec, quality, name
+):
+    pkt = ControlPacket(
+        channel_id=channel_id,
+        seq=seq,
+        wall_clock=wall,
+        stream_pos=pos,
+        params=AudioParams(enc, rate, channels),
+        codec_id=codec,
+        quality=quality,
+        name=name,
+    )
+    assert parse_packet(pkt.encode()) == pkt
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=65535),
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.floats(min_value=0, max_value=1e6, allow_nan=False),
+    st.binary(max_size=2000),
+    st.sampled_from(list(CodecID)),
+    st.booleans(),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_property_data_round_trip(
+    channel_id, seq, play_at, payload, codec, synthetic, pcm_bytes
+):
+    pkt = DataPacket(
+        channel_id=channel_id,
+        seq=seq,
+        play_at=play_at,
+        payload=payload,
+        codec_id=codec,
+        synthetic=synthetic,
+        pcm_bytes=pcm_bytes,
+    )
+    assert parse_packet(pkt.encode()) == pkt
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.binary(min_size=0, max_size=200))
+def test_property_arbitrary_bytes_never_crash(data):
+    """The parser either returns a packet or raises ProtocolError —
+    never anything else (a speaker must survive any LAN garbage)."""
+    try:
+        parse_packet(data)
+    except ProtocolError:
+        pass

@@ -1,0 +1,124 @@
+"""Rate limiter arithmetic (§3.1) and compression policy (§2.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.audio import CD_QUALITY, PHONE_QUALITY, AudioParams
+from repro.codec import CodecID
+from repro.core import ChannelConfig, RateLimiter
+
+
+def test_limiter_first_block_goes_immediately():
+    rl = RateLimiter()
+    assert rl.delay_before(CD_QUALITY.bytes_for(0.5), CD_QUALITY, 10.0) == 0.0
+
+
+def test_limiter_paces_back_to_back_blocks():
+    rl = RateLimiter()
+    block = CD_QUALITY.bytes_for(0.5)
+    assert rl.delay_before(block, CD_QUALITY, 0.0) == 0.0
+    # second block immediately after: must wait the first block's duration
+    assert rl.delay_before(block, CD_QUALITY, 0.0) == pytest.approx(0.5)
+    assert rl.delay_before(block, CD_QUALITY, 0.0) == pytest.approx(1.0)
+
+
+def test_limiter_does_not_penalise_late_senders():
+    rl = RateLimiter()
+    block = CD_QUALITY.bytes_for(0.5)
+    rl.delay_before(block, CD_QUALITY, 0.0)
+    # sender shows up 3 s later (slow compression, say): no extra delay
+    assert rl.delay_before(block, CD_QUALITY, 3.0) == 0.0
+
+
+def test_five_minute_song_takes_five_minutes():
+    """§3.1's headline: cumulative delays equal the playing time."""
+    rl = RateLimiter()
+    block = CD_QUALITY.bytes_for(1.0)
+    clock = 0.0
+    for _ in range(300):
+        clock += rl.delay_before(block, CD_QUALITY, clock)
+    assert clock == pytest.approx(299.0)  # last block released at t=299
+    assert rl.stream_pos == pytest.approx(300.0)
+
+
+def test_disabled_limiter_never_delays():
+    rl = RateLimiter(enabled=False)
+    block = CD_QUALITY.bytes_for(1.0)
+    for _ in range(100):
+        assert rl.delay_before(block, CD_QUALITY, 0.0) == 0.0
+    # but the stream clock still advances (timestamps stay correct)
+    assert rl.stream_pos == pytest.approx(100.0)
+
+
+def test_reset():
+    rl = RateLimiter()
+    rl.delay_before(1000, CD_QUALITY, 5.0)
+    rl.reset()
+    assert rl.stream_pos == 0.0
+    assert rl.delay_before(1000, CD_QUALITY, 50.0) == 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=200000), min_size=1, max_size=50))
+def test_property_release_times_match_stream_positions(sizes):
+    """Invariant: block k is never released before the stream position of
+    its first byte, and a sender that always sends immediately finishes at
+    exactly total_duration - last_block_duration."""
+    rl = RateLimiter()
+    clock = 0.0
+    pos = 0.0
+    for nbytes in sizes:
+        delay = rl.delay_before(nbytes, CD_QUALITY, clock)
+        clock += delay
+        assert clock == pytest.approx(max(pos, clock))
+        assert clock >= pos - 1e-9
+        pos += CD_QUALITY.duration_of(nbytes)
+    assert rl.stream_pos == pytest.approx(pos)
+
+
+# -- channel compression policy ----------------------------------------------------
+
+
+def test_auto_policy_compresses_cd_quality():
+    ch = _channel(compress="auto")
+    assert ch.effective_codec(CD_QUALITY) == CodecID.VORBIS_LIKE
+
+
+def test_auto_policy_leaves_phone_quality_raw():
+    """§2.2: 'Audio channels with low bit-rates are still sent
+    uncompressed'."""
+    ch = _channel(compress="auto")
+    assert ch.effective_codec(PHONE_QUALITY) == CodecID.RAW
+
+
+def test_never_and_always_policies():
+    assert _channel(compress="never").effective_codec(CD_QUALITY) == CodecID.RAW
+    assert (
+        _channel(compress="always").effective_codec(PHONE_QUALITY)
+        == CodecID.VORBIS_LIKE
+    )
+
+
+def test_threshold_is_configurable():
+    ch = _channel(compress="auto", compress_threshold_bps=32_000)
+    assert ch.effective_codec(PHONE_QUALITY) == CodecID.VORBIS_LIKE
+
+
+def test_bad_policy_rejected():
+    with pytest.raises(ValueError):
+        _channel(compress="sometimes")
+    with pytest.raises(ValueError):
+        _channel(quality=42)
+
+
+def _channel(**kw):
+    defaults = dict(
+        channel_id=1,
+        name="test",
+        group_ip="239.192.0.1",
+        port=5001,
+        params=CD_QUALITY,
+    )
+    defaults.update(kw)
+    return ChannelConfig(**defaults)

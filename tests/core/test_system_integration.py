@@ -1,0 +1,235 @@
+"""End-to-end integration: app -> VAD -> rebroadcaster -> LAN -> speakers.
+
+Each test builds a whole deployment with EthernetSpeakerSystem and checks a
+behaviour the paper claims.
+"""
+
+import numpy as np
+import pytest
+
+from repro.audio import CD_QUALITY, AudioEncoding, AudioParams, music, sine, snr_db
+from repro.codec import CodecID
+from repro.core import EthernetSpeakerSystem
+
+LOW = AudioParams(AudioEncoding.SLINEAR16, 8000, 1)  # cheap to simulate
+
+
+def build(n_speakers=2, compress="never", params=LOW, sys_kw=None, rb_kw=None,
+          sp_kw=None, quality=10):
+    system = EthernetSpeakerSystem(**(sys_kw or {}))
+    producer = system.add_producer()
+    channel = system.add_channel("ch", params=params, compress=compress,
+                                 quality=quality)
+    system.add_rebroadcaster(producer, channel, **(rb_kw or {}))
+    speakers = [
+        system.add_speaker(channel=channel, **(sp_kw or {}))
+        for _ in range(n_speakers)
+    ]
+    return system, producer, channel, speakers
+
+
+def test_every_speaker_plays_the_same_audio():
+    system, producer, channel, speakers = build(n_speakers=3)
+    x = sine(440, 2.0, 8000)
+    system.play_pcm(producer, x, LOW)
+    system.run(until=6.0)
+    for node in speakers:
+        out = node.sink.waveform()
+        assert snr_db(x, out[: len(x)]) > 40
+
+
+def test_compressed_channel_still_sounds_right():
+    system, producer, channel, speakers = build(
+        n_speakers=1, compress="always", params=CD_QUALITY
+    )
+    x = music(1.5, 44100, seed=3)
+    system.play_pcm(producer, x, CD_QUALITY)
+    system.run(until=5.0)
+    out = speakers[0].sink.waveform()
+    assert snr_db(x, out[: len(x)]) > 25  # lossy but clean
+
+
+def test_speaker_waits_for_control_packet():
+    """§2.3: data packets arriving before any control packet are useless."""
+    system, producer, channel, speakers = build(
+        n_speakers=1, rb_kw={"control_interval": 3600.0}
+    )
+    # Suppress even the config-triggered control packet by monkey-patching
+    # the stats: instead, start a second speaker late and observe the
+    # waiting_dropped counter on a speaker that joins before any control.
+    x = sine(440, 2.0, 8000)
+    system.play_pcm(producer, x, LOW)
+    # late speaker misses the single initial control packet (interval 1 h)
+    late = system.add_speaker(channel=channel, start=False)
+    system.sim.schedule(0.5, late.speaker.start)
+    system.run(until=6.0)
+    assert late.stats.waiting_dropped > 0
+    assert late.stats.played == 0
+    # the punctual speaker played fine
+    assert speakers[0].stats.played > 0
+
+
+def test_late_joiner_syncs_with_running_stream():
+    """§3.2: ESs 'started at different times in the middle of the stream'
+    end up aligned."""
+    system, producer, channel, speakers = build(
+        n_speakers=1, rb_kw={"control_interval": 0.5}
+    )
+    x = sine(440, 6.0, 8000)
+    system.play_pcm(producer, x, LOW)
+    late = system.add_speaker(channel=channel, start=False)
+    system.sim.schedule(2.7, late.speaker.start)
+    system.run(until=10.0)
+    assert late.stats.played > 0
+    report = system.skew_report([speakers[0], late])
+    assert report["positions"] > 10
+    assert report["max_skew"] < 0.050
+
+
+def test_rate_limited_stream_takes_real_time():
+    """§3.1: a 4-second clip takes ~4 seconds to transmit."""
+    system, producer, channel, speakers = build()
+    x = sine(440, 4.0, 8000)
+    app = system.play_pcm(producer, x, LOW)
+    rb = system.rebroadcasters[0]
+    done = []
+    system.sim.schedule(0.1, lambda: None)
+    system.run(until=20.0)
+    # the last data packet cannot have left before ~4 s
+    last_play_at = max(p for p, _ in speakers[0].stats.play_log)
+    assert last_play_at > 3.5
+    assert rb.limiter.stream_pos == pytest.approx(4.0, abs=0.1)
+
+
+def test_without_rate_limiter_only_the_start_survives():
+    """§3.1: 'you will only hear the first few seconds of the song' —
+    the unpaced producer floods the speakers' buffers."""
+    system, producer, channel, speakers = build(
+        n_speakers=1,
+        rb_kw={"rate_limit": False},
+        sp_kw={"rx_buffer_packets": 16},
+    )
+    x = sine(440, 30.0, 8000)
+    system.play_pcm(producer, x, LOW)
+    system.run(until=40.0)
+    st = speakers[0].stats
+    lost = st.seq_gaps + speakers[0].speaker._sock.drops
+    assert lost > 0.5 * st.data_rx  # most of the stream vanished
+    played_seconds = st.played * producer.vad.slave.blocksize / LOW.bytes_per_second
+    assert played_seconds < 10.0  # only the first seconds were heard
+
+
+def test_with_rate_limiter_everything_survives():
+    system, producer, channel, speakers = build(
+        n_speakers=1, sp_kw={"rx_buffer_packets": 16}
+    )
+    x = sine(440, 15.0, 8000)
+    system.play_pcm(producer, x, LOW)
+    system.run(until=20.0)
+    st = speakers[0].stats
+    assert st.seq_gaps == 0
+    assert st.late_dropped == 0
+    assert speakers[0].sink.audio_seconds == pytest.approx(15.0, abs=0.3)
+
+
+def test_packet_loss_causes_gaps_but_stream_recovers():
+    system, producer, channel, speakers = build(
+        n_speakers=1,
+        sys_kw={"loss_rate": 0.08, "seed": 7},
+        rb_kw={"control_interval": 0.5},
+    )
+    x = sine(440, 10.0, 8000)
+    system.play_pcm(producer, x, LOW)
+    system.run(until=15.0)
+    st = speakers[0].stats
+    assert st.seq_gaps > 0  # losses observed
+    assert st.played > 0.7 * st.data_rx  # but most audio still played
+
+
+def test_raw_cd_quality_costs_about_1_4_mbps():
+    """§2.2: 'around 1.3Mbps for CD-quality audio' (1.41 Mb/s of PCM)."""
+    system, producer, channel, speakers = build(
+        n_speakers=1, compress="never", params=CD_QUALITY
+    )
+    system.play_synthetic(producer, 10.0, CD_QUALITY)
+    system.add_rebroadcaster  # no-op reference, keep single channel
+    system.run(until=10.0)
+    # measure over the streaming window only
+    payload_bits = system.monitor.total_payload_bytes * 8
+    stream_seconds = system.rebroadcasters[0].limiter.stream_pos
+    mbps = payload_bits / stream_seconds / 1e6
+    assert mbps == pytest.approx(1.41, rel=0.05)
+
+
+def test_compression_cuts_bandwidth_several_fold():
+    results = {}
+    for compress in ("never", "always"):
+        system, producer, channel, speakers = build(
+            n_speakers=1, compress=compress, params=CD_QUALITY,
+            rb_kw={"real_codec": False},
+        )
+        system.play_synthetic(producer, 10.0, CD_QUALITY)
+        system.run(until=10.0)
+        results[compress] = system.monitor.total_payload_bytes
+    assert results["always"] < results["never"] / 2.5
+
+
+def test_producer_state_independent_of_speaker_count():
+    """§2.3: 'the Rebroadcaster does not need to maintain any state for
+    the Ethernet Speakers that listen in'."""
+    sent = {}
+    for n in (1, 8):
+        system, producer, channel, speakers = build(n_speakers=n)
+        x = sine(440, 2.0, 8000)
+        system.play_pcm(producer, x, LOW)
+        system.run(until=5.0)
+        rb = system.rebroadcasters[0]
+        sent[n] = (rb.stats.data_sent, rb.stats.control_sent)
+        for node in speakers:
+            assert node.stats.played > 0
+    assert sent[1] == sent[8]  # identical producer behaviour
+
+
+def test_speakers_never_transmit():
+    """Receive-only devices: no frame on the LAN originates at a speaker."""
+    system, producer, channel, speakers = build(n_speakers=3)
+    speaker_ips = {n.machine.net.ip for n in speakers}
+    sources = set()
+    system.lan.add_tap(lambda d: sources.add(d.src_ip))
+    x = sine(440, 2.0, 8000)
+    system.play_pcm(producer, x, LOW)
+    system.run(until=5.0)
+    assert sources and not (sources & speaker_ips)
+
+
+def test_skew_with_jitter_stays_inaudible():
+    """§3.2: phase differences 'attributed to network delay or otherwise'
+    remain inaudible (< ~20 ms) even with per-receiver jitter."""
+    system, producer, channel, speakers = build(
+        n_speakers=4,
+        sys_kw={"jitter": 0.004, "seed": 3},
+        rb_kw={"control_interval": 0.5},
+    )
+    x = sine(440, 5.0, 8000)
+    system.play_pcm(producer, x, LOW)
+    system.run(until=9.0)
+    report = system.skew_report()
+    assert report["positions"] > 20
+    assert report["max_skew"] < 0.020
+
+
+def test_mid_stream_reconfiguration_reaches_speakers():
+    """A new SETINFO propagates via control packets; speakers retune."""
+    system = EthernetSpeakerSystem()
+    producer = system.add_producer()
+    channel = system.add_channel("ch", params=LOW, compress="never")
+    system.add_rebroadcaster(producer, channel)
+    node = system.add_speaker(channel=channel)
+    p2 = AudioParams(AudioEncoding.ULAW, 8000, 1)
+    system.play_pcm(producer, sine(440, 1.0, 8000), LOW)
+    system.play_pcm(producer, sine(220, 1.0, 8000), p2, start_after=2.5)
+    system.run(until=8.0)
+    assert node.speaker._params == p2
+    assert node.stats.played > 0
+    # both segments audible
+    assert node.sink.audio_seconds == pytest.approx(2.0, abs=0.3)

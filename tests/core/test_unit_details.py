@@ -1,0 +1,166 @@
+"""Unit-level checks on rebroadcaster and speaker internals."""
+
+import pytest
+
+from repro.audio import AudioEncoding, AudioParams, sine
+from repro.codec import CodecID
+from repro.core import EthernetSpeakerSystem
+from repro.core.protocol import ControlPacket, DataPacket
+
+LOW = AudioParams(AudioEncoding.SLINEAR16, 8000, 1)
+
+
+def build(compress="never", **rb_kw):
+    system = EthernetSpeakerSystem()
+    producer = system.add_producer()
+    channel = system.add_channel("ch", params=LOW, compress=compress)
+    rb = system.add_rebroadcaster(producer, channel, **rb_kw)
+    node = system.add_speaker(channel=channel)
+    return system, producer, channel, rb, node
+
+
+def test_rebroadcaster_stats_accounting():
+    system, producer, channel, rb, node = build()
+    x = sine(440, 2.0, 8000)
+    system.play_pcm(producer, x, LOW)
+    system.run(until=5.0)
+    st = rb.stats
+    assert st.raw_bytes == len(x) * 2
+    assert st.sent_payload_bytes == st.raw_bytes  # raw channel
+    assert st.compression_ratio == 1.0
+    assert st.data_sent == node.stats.data_rx
+    assert st.control_sent == node.stats.control_rx
+    assert st.records_in == st.data_sent + 1  # + the config record
+
+
+def test_compression_ratio_reported():
+    """On CD-quality blocks the codec compresses well; the ratio is
+    reported from real byte counts.  (Tiny low-bit-rate blocks barely
+    compress at q=10 — one more reason §2.2 leaves them raw.)"""
+    from repro.audio import CD_QUALITY, music
+
+    system = EthernetSpeakerSystem()
+    producer = system.add_producer()
+    channel = system.add_channel("cd", params=CD_QUALITY, compress="always")
+    rb = system.add_rebroadcaster(producer, channel)
+    node = system.add_speaker(channel=channel)
+    system.play_pcm(producer, music(2.0, 44100, seed=2), CD_QUALITY)
+    system.run(until=5.0)
+    assert 0.0 < rb.stats.compression_ratio < 0.6
+    assert rb.stats.sent_payload_bytes < rb.stats.raw_bytes
+
+
+def test_control_packets_carry_current_codec():
+    system, producer, channel, rb, node = build(compress="always")
+    captured = []
+
+    def tap(dgram):
+        from repro.core.protocol import parse_packet
+
+        try:
+            captured.append(parse_packet(dgram.payload))
+        except Exception:
+            pass
+
+    system.lan.add_tap(tap)
+    system.play_pcm(producer, sine(440, 1.0, 8000), LOW)
+    system.run(until=3.0)
+    controls = [p for p in captured if isinstance(p, ControlPacket)]
+    datas = [p for p in captured if isinstance(p, DataPacket)]
+    assert controls and datas
+    assert all(c.codec_id == CodecID.VORBIS_LIKE for c in controls)
+    assert all(d.codec_id == CodecID.VORBIS_LIKE for d in datas)
+    assert all(c.params == LOW for c in controls)
+    # control packets interleave: first packet on the wire is a control
+    assert isinstance(captured[0], ControlPacket)
+
+
+def test_control_interval_respected():
+    system, producer, channel, rb, node = build(control_interval=0.5)
+    system.play_synthetic(producer, 10.0, LOW)
+    system.run(until=12.0)
+    # one control per interval over the 10 s stream, +/- edge effects
+    assert 18 <= rb.stats.control_sent <= 23
+
+
+def test_play_timestamps_match_stream_arithmetic():
+    system, producer, channel, rb, node = build()
+    captured = []
+
+    def tap(dgram):
+        from repro.core.protocol import parse_packet
+
+        try:
+            pkt = parse_packet(dgram.payload)
+            if isinstance(pkt, DataPacket):
+                captured.append(pkt)
+        except Exception:
+            pass
+
+    system.lan.add_tap(tap)
+    system.play_synthetic(producer, 3.0, LOW)
+    system.run(until=6.0)
+    # play_at advances by exactly the PCM duration of each payload
+    pos = 0.0
+    for pkt in captured:
+        assert pkt.play_at == pytest.approx(pos, abs=1e-9)
+        pos += LOW.duration_of(pkt.pcm_bytes)
+
+
+def test_speaker_state_property():
+    system, producer, channel, rb, node = build()
+    assert node.speaker.state == "waiting"
+    system.play_synthetic(producer, 1.0, LOW)
+    system.run(until=3.0)
+    assert node.speaker.state == "playing"
+
+
+def test_retune_resets_sync_state():
+    system = EthernetSpeakerSystem()
+    producer = system.add_producer()
+    a = system.add_channel("a", params=LOW, compress="never")
+    b = system.add_channel("b", params=LOW, compress="never")
+    system.add_rebroadcaster(producer, a)
+    node = system.add_speaker(channel=a)
+    system.play_synthetic(producer, 2.0, LOW)
+    system.run(until=3.0)
+    assert node.speaker._anchor is not None
+    node.speaker.retune(b.group_ip, b.port)
+    assert node.speaker._anchor is None
+    assert node.speaker.state == "waiting"
+    assert node.speaker.group_ip == b.group_ip
+
+
+def test_synthetic_payload_plays_silence_of_right_length():
+    system, producer, channel, rb, node = build()
+    system.play_synthetic(producer, 2.0, LOW)
+    system.run(until=5.0)
+    # synthetic blocks expand to their pcm_bytes as silence
+    assert node.sink.played_seconds == pytest.approx(2.0, abs=0.2)
+    import numpy as np
+
+    assert float(np.max(np.abs(node.sink.waveform()))) == 0.0
+
+
+def test_speaker_gain_scales_output():
+    system, producer, channel, rb, node = build()
+    node.speaker.gain = 0.5
+    x = sine(440, 1.0, 8000, amplitude=0.8)
+    system.play_pcm(producer, x, LOW)
+    system.run(until=4.0)
+    import numpy as np
+
+    out = node.sink.waveform()
+    assert float(np.max(np.abs(out))) == pytest.approx(0.4, abs=0.02)
+    assert node.speaker.last_output_rms == pytest.approx(
+        0.4 / np.sqrt(2), rel=0.05
+    )
+
+
+def test_stopping_speaker_stops_reception():
+    system, producer, channel, rb, node = build()
+    system.play_synthetic(producer, 5.0, LOW)
+    system.sim.schedule(2.0, node.speaker.stop)
+    system.run(until=8.0)
+    seen = node.stats.data_rx
+    assert seen < rb.stats.data_sent  # stopped listening early

@@ -1,0 +1,205 @@
+"""High-level audio driver + simulated hardware: the audio(4) contract."""
+
+import numpy as np
+import pytest
+
+from repro.audio import (
+    AudioEncoding,
+    AudioParams,
+    encode_samples,
+    sine,
+    snr_db,
+)
+from repro.kernel import (
+    AUDIO_DRAIN,
+    AUDIO_FLUSH,
+    AUDIO_GETINFO,
+    AUDIO_SETINFO,
+    AudioDevice,
+    HardwareAudioDriver,
+    Machine,
+    SpeakerSink,
+)
+from repro.sim import Simulator, Sleep
+
+PARAMS = AudioParams(AudioEncoding.SLINEAR16, 8000, 1)
+
+
+def build(sim, freq=500e6):
+    machine = Machine(sim, "host", cpu_freq_hz=freq)
+    sink = SpeakerSink()
+    hw = HardwareAudioDriver(machine, sink)
+    dev = AudioDevice(machine, hw, block_seconds=0.05)
+    machine.register_device("/dev/audio", dev)
+    return machine, dev, sink
+
+
+def play(machine, samples, params=PARAMS, drain=True):
+    def app():
+        fd = yield from machine.sys_open("/dev/audio")
+        yield from machine.sys_ioctl(fd, AUDIO_SETINFO, params)
+        data = encode_samples(samples, params)
+        yield from machine.sys_write(fd, data)
+        if drain:
+            yield from machine.sys_ioctl(fd, AUDIO_DRAIN)
+        yield from machine.sys_close(fd)
+        return machine.sim.now
+
+    return machine.spawn(app())
+
+
+def test_playback_reproduces_waveform():
+    sim = Simulator()
+    machine, dev, sink = build(sim)
+    x = sine(440, 1.0, 8000)
+    play(machine, x)
+    sim.run()
+    out = sink.waveform()
+    # leading/trailing silence from block padding allowed; content intact
+    assert snr_db(x, out[: len(x)]) > 30
+
+
+def test_playback_is_rate_limited_by_hardware():
+    """§3.1: five seconds of audio take five seconds to play."""
+    sim = Simulator()
+    machine, dev, sink = build(sim)
+    x = sine(440, 5.0, 8000)
+    p = play(machine, x)
+    sim.run()
+    # write+drain completes no earlier than the hardware can play
+    assert p.result >= 4.9
+    assert sink.audio_seconds == pytest.approx(5.0, abs=0.11)
+
+
+def test_writer_blocks_at_hiwat():
+    sim = Simulator()
+    machine, dev, sink = build(sim)
+    x = sine(440, 5.0, 8000)
+    p = play(machine, x, drain=False)
+    sim.run()
+    # even without drain, the write itself cannot finish much before
+    # playback frees ring space: finish >= duration - ring capacity
+    ring_seconds = dev.hiwat / PARAMS.bytes_per_second
+    assert p.result >= 5.0 - ring_seconds - 0.2
+
+
+def test_underrun_inserts_silence():
+    sim = Simulator()
+    machine, dev, sink = build(sim)
+
+    def app():
+        fd = yield from machine.sys_open("/dev/audio")
+        yield from machine.sys_ioctl(fd, AUDIO_SETINFO, PARAMS)
+        chunk = encode_samples(sine(440, 0.3, 8000), PARAMS)
+        yield from machine.sys_write(fd, chunk)
+        yield Sleep(1.0)  # starve the device
+        yield from machine.sys_write(fd, chunk)
+        yield from machine.sys_ioctl(fd, AUDIO_DRAIN)
+
+    machine.spawn(app())
+    sim.run()
+    assert dev.underruns >= 1
+    assert dev.silence_bytes > 0
+    assert sink.silence_events >= 1
+
+
+def test_output_halts_after_sustained_underrun_and_restarts():
+    sim = Simulator()
+    machine, dev, sink = build(sim)
+
+    def app():
+        fd = yield from machine.sys_open("/dev/audio")
+        yield from machine.sys_ioctl(fd, AUDIO_SETINFO, PARAMS)
+        chunk = encode_samples(sine(440, 0.2, 8000), PARAMS)
+        yield from machine.sys_write(fd, chunk)
+        yield Sleep(5.0)
+        yield from machine.sys_write(fd, chunk)
+        yield from machine.sys_ioctl(fd, AUDIO_DRAIN)
+
+    machine.spawn(app())
+    sim.run()
+    # silence insertion stopped after MAX_SILENT_BLOCKS, not 5 s worth
+    max_silence = (dev.MAX_SILENT_BLOCKS + 2) * dev.blocksize
+    assert dev.silence_bytes <= max_silence
+    # and the second burst still played
+    assert sink.audio_seconds == pytest.approx(0.4, abs=0.12)
+
+
+def test_getinfo_reports_geometry():
+    sim = Simulator()
+    machine, dev, sink = build(sim)
+
+    def app():
+        fd = yield from machine.sys_open("/dev/audio")
+        yield from machine.sys_ioctl(fd, AUDIO_SETINFO, PARAMS)
+        info = yield from machine.sys_ioctl(fd, AUDIO_GETINFO)
+        return info
+
+    p = machine.spawn(app())
+    sim.run()
+    assert p.result["params"] == PARAMS
+    assert p.result["blocksize"] == PARAMS.bytes_for(0.05)
+    assert p.result["hiwat"] == 8 * p.result["blocksize"]
+
+
+def test_setinfo_recomputes_blocksize():
+    sim = Simulator()
+    machine, dev, sink = build(sim)
+    cd = AudioParams(AudioEncoding.SLINEAR16, 44100, 2)
+
+    def app():
+        fd = yield from machine.sys_open("/dev/audio")
+        yield from machine.sys_ioctl(fd, AUDIO_SETINFO, cd)
+
+    machine.spawn(app())
+    sim.run()
+    assert dev.blocksize == cd.bytes_for(0.05)
+    assert dev.blocksize % cd.frame_bytes == 0
+
+
+def test_flush_discards_buffer():
+    sim = Simulator()
+    machine, dev, sink = build(sim)
+
+    def app():
+        fd = yield from machine.sys_open("/dev/audio")
+        yield from machine.sys_ioctl(fd, AUDIO_SETINFO, PARAMS)
+        yield from machine.sys_write(
+            fd, encode_samples(sine(440, 0.4, 8000), PARAMS)
+        )
+        yield from machine.sys_ioctl(fd, AUDIO_FLUSH)
+        return dev.level
+
+    p = machine.spawn(app())
+    sim.run()
+    assert p.result == 0
+
+
+def test_mulaw_stream_plays():
+    sim = Simulator()
+    machine, dev, sink = build(sim)
+    params = AudioParams(AudioEncoding.ULAW, 8000, 1)
+    x = sine(440, 0.5, 8000, amplitude=0.5)
+    play(machine, x, params=params)
+    sim.run()
+    out = sink.waveform()
+    assert snr_db(x, out[: len(x)]) > 20
+
+
+def test_dma_interrupts_charge_cpu():
+    sim = Simulator()
+    machine, dev, sink = build(sim)
+    play(machine, sine(440, 1.0, 8000))
+    sim.run()
+    assert machine.cpu.stats.domain_seconds["intr"] > 0
+
+
+def test_slow_cpu_still_plays_clean():
+    """The EON 4000's 233 MHz is 'perfectly adequate' (§3.4) for playback."""
+    sim = Simulator()
+    machine, dev, sink = build(sim, freq=233e6)
+    x = sine(440, 2.0, 8000)
+    play(machine, x)
+    sim.run()
+    assert snr_db(x, sink.waveform()[: len(x)]) > 30
+    assert dev.underruns == 0

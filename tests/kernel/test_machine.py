@@ -1,0 +1,129 @@
+"""Machine: devices, fds, syscall costs."""
+
+import pytest
+
+from repro.kernel import DeviceError, Machine
+from repro.kernel.devices import NullDevice
+from repro.sim import Simulator, Sleep
+
+
+def test_open_write_close_null():
+    sim = Simulator()
+    m = Machine(sim, "box")
+    m.register_device("/dev/null", NullDevice())
+
+    def proc():
+        fd = yield from m.sys_open("/dev/null")
+        n = yield from m.sys_write(fd, b"hello")
+        yield from m.sys_close(fd)
+        return (fd, n)
+
+    p = m.spawn(proc())
+    sim.run()
+    assert p.result == (3, 5)
+
+
+def test_open_missing_device_raises():
+    sim = Simulator()
+    m = Machine(sim, "box")
+
+    def proc():
+        try:
+            yield from m.sys_open("/dev/nope")
+        except DeviceError:
+            return "enoent"
+
+    p = m.spawn(proc())
+    sim.run()
+    assert p.result == "enoent"
+
+
+def test_bad_fd_raises():
+    sim = Simulator()
+    m = Machine(sim, "box")
+
+    def proc():
+        try:
+            yield from m.sys_write(42, b"x")
+        except DeviceError:
+            return "ebadf"
+
+    p = m.spawn(proc())
+    sim.run()
+    assert p.result == "ebadf"
+
+
+def test_fd_invalid_after_close():
+    sim = Simulator()
+    m = Machine(sim, "box")
+    m.register_device("/dev/null", NullDevice())
+
+    def proc():
+        fd = yield from m.sys_open("/dev/null")
+        yield from m.sys_close(fd)
+        try:
+            yield from m.sys_write(fd, b"x")
+        except DeviceError:
+            return "closed"
+
+    p = m.spawn(proc())
+    sim.run()
+    assert p.result == "closed"
+
+
+def test_syscalls_charge_system_time():
+    sim = Simulator()
+    m = Machine(sim, "box", cpu_freq_hz=100e6, switch_cost=0.0)
+    m.register_device("/dev/null", NullDevice())
+
+    def proc():
+        fd = yield from m.sys_open("/dev/null")
+        yield from m.sys_write(fd, bytes(10000))
+
+    m.spawn(proc())
+    sim.run()
+    expected_cycles = (
+        2 * Machine.syscall_cycles + Machine.copy_cycles_per_byte * 10000
+    )
+    assert m.cpu.stats.domain_seconds["sys"] == pytest.approx(
+        expected_cycles / 100e6, rel=0.01
+    )
+
+
+def test_write_cost_scales_with_size():
+    durations = {}
+    for size in (1000, 100000):
+        sim = Simulator()
+        m = Machine(sim, "box", cpu_freq_hz=100e6)
+        m.register_device("/dev/null", NullDevice())
+
+        def proc(n=size):
+            fd = yield from m.sys_open("/dev/null")
+            yield from m.sys_write(fd, bytes(n))
+            return sim.now
+
+        p = m.spawn(proc())
+        sim.run()
+        durations[size] = p.result
+    assert durations[100000] > durations[1000]
+
+
+def test_housekeeping_produces_baseline_switches():
+    """The 'Unloaded Machine' line of Figure 5: a few switches/second."""
+    sim = Simulator()
+    m = Machine(sim, "box")
+    m.start_housekeeping(wakes_per_second=2.0)
+    sim.run(until=10.0)
+    rate = m.cpu.stats.context_switches / 10.0
+    assert 2.0 <= rate <= 8.0
+
+
+def test_attach_network():
+    from repro.net import EthernetSegment
+
+    sim = Simulator()
+    lan = EthernetSegment(sim)
+    m = Machine(sim, "box")
+    stack = m.attach_network(lan, "10.0.0.7")
+    assert m.net is stack
+    assert stack.ip == "10.0.0.7"

@@ -1,0 +1,257 @@
+"""The Virtual Audio Device: transparency, ordering, flow control (§2.1, §3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.audio import (
+    AudioEncoding,
+    AudioParams,
+    decode_samples,
+    encode_samples,
+    sine,
+    snr_db,
+)
+from repro.kernel import AUDIO_SETINFO, Machine, VadPair, VadRecord
+from repro.sim import Simulator, Sleep, Timeout
+
+PARAMS = AudioParams(AudioEncoding.SLINEAR16, 8000, 1)
+
+
+def build(sim, strategy="kthread", **kw):
+    machine = Machine(sim, "producer")
+    pair = VadPair(machine, strategy=strategy, **kw)
+    return machine, pair
+
+
+def writer_app(machine, samples, params=PARAMS):
+    def app():
+        fd = yield from machine.sys_open("/dev/vads")
+        yield from machine.sys_ioctl(fd, AUDIO_SETINFO, params)
+        yield from machine.sys_write(fd, encode_samples(samples, params))
+        yield from machine.sys_close(fd)
+
+    return machine.spawn(app(), name="writer")
+
+
+def collect_records(machine, out, stop_after_bytes):
+    """Reader process: drain master records until enough data arrived."""
+
+    def app():
+        fd = yield from machine.sys_open("/dev/vadm")
+        got = 0
+        while got < stop_after_bytes:
+            rec = yield from machine.sys_read(fd, 65536)
+            out.append(rec)
+            if rec.kind == "data":
+                got += len(rec.payload)
+
+    return machine.spawn(app(), name="reader")
+
+
+@pytest.mark.parametrize("strategy", ["kthread", "modified"])
+def test_config_record_precedes_data(strategy):
+    sim = Simulator()
+    machine, pair = build(sim, strategy)
+    x = sine(440, 0.5, 8000)
+    records = []
+    writer_app(machine, x)
+    collect_records(machine, records, stop_after_bytes=len(x) * 2)
+    sim.run()
+    kinds = [r.kind for r in records]
+    assert kinds[0] == "config"
+    assert records[0].params == PARAMS
+    assert all(k == "data" for k in kinds[1:])
+
+
+@pytest.mark.parametrize("strategy", ["kthread", "modified"])
+def test_audio_passes_through_bit_exact(strategy):
+    """§2.1: redirection is totally transparent — every byte the app wrote
+    appears on the master side, in order."""
+    sim = Simulator()
+    machine, pair = build(sim, strategy)
+    x = sine(440, 1.0, 8000)
+    wire = encode_samples(x, PARAMS)
+    records = []
+    writer_app(machine, x)
+    collect_records(machine, records, stop_after_bytes=len(wire))
+    sim.run()
+    payload = b"".join(r.payload for r in records if r.kind == "data")
+    assert payload[: len(wire)] == wire
+
+
+def test_vad_is_not_rate_limited():
+    """§3.1: 'the producer will essentially send the entire file at wire
+    speed' — a 60-second clip moves through the VAD in well under a second
+    of virtual time."""
+    sim = Simulator()
+    machine, pair = build(sim, "kthread")
+    x = sine(440, 60.0, 8000)
+    wire_len = len(x) * 2
+    records = []
+    w = writer_app(machine, x)
+    r = collect_records(machine, records, stop_after_bytes=wire_len)
+    sim.run()
+    assert not w.alive and not r.alive
+    assert sim.now < 1.0  # 60 s of audio in < 1 s: no rate limit
+
+
+def test_slow_reader_backpressures_writer():
+    """Flow control: with the master reader stalled, the writer blocks at
+    ring+queue capacity instead of data vanishing."""
+    sim = Simulator()
+    machine, pair = build(sim, "kthread", queue_blocks=4)
+    x = sine(440, 20.0, 8000)
+    w = writer_app(machine, x)
+    sim.run(until=5.0)
+    assert w.alive  # writer is stuck: nobody reads the master
+    capacity = pair.slave.hiwat + 4 * pair.slave.blocksize
+    assert pair.slave.bytes_written <= capacity + pair.slave.blocksize * 2
+
+
+def test_reconfiguration_mid_stream():
+    """New SETINFO mid-stream must surface as a config record positioned
+    between the old-format and new-format data."""
+    sim = Simulator()
+    machine, pair = build(sim, "kthread")
+    p1 = PARAMS
+    p2 = AudioParams(AudioEncoding.ULAW, 8000, 1)
+    x = sine(330, 0.3, 8000)
+
+    def app():
+        fd = yield from machine.sys_open("/dev/vads")
+        yield from machine.sys_ioctl(fd, AUDIO_SETINFO, p1)
+        yield from machine.sys_write(fd, encode_samples(x, p1))
+        yield from machine.sys_ioctl(fd, AUDIO_SETINFO, p2)
+        yield from machine.sys_write(fd, encode_samples(x, p2))
+
+    machine.spawn(app(), name="writer")
+    records = []
+    collect_records(
+        machine, records, stop_after_bytes=len(x) * 2 + len(x)
+    )
+    sim.run()
+    kinds = [(r.kind, r.params) for r in records]
+    config_positions = [i for i, r in enumerate(records) if r.kind == "config"]
+    assert len(config_positions) == 2
+    first_cfg, second_cfg = config_positions
+    assert records[first_cfg].params == p1
+    assert records[second_cfg].params == p2
+    # all data between the two configs decodes under p1's byte count
+    between = sum(
+        len(r.payload)
+        for r in records[first_cfg + 1 : second_cfg]
+        if r.kind == "data"
+    )
+    assert between == len(x) * 2  # the p1-format bytes, exactly
+
+
+def test_data_records_have_increasing_seq():
+    sim = Simulator()
+    machine, pair = build(sim, "kthread")
+    x = sine(440, 0.5, 8000)
+    records = []
+    writer_app(machine, x)
+    collect_records(machine, records, stop_after_bytes=len(x) * 2)
+    sim.run()
+    seqs = [r.seq for r in records if r.kind == "data"]
+    assert seqs == sorted(seqs)
+    assert len(set(seqs)) == len(seqs)
+
+
+def test_kernel_consumer_mode():
+    """Preliminary in-kernel streaming design (§3.3): records go to a
+    kernel-resident consumer, never to the master device."""
+    sim = Simulator()
+    machine = Machine(sim, "producer")
+    consumed = []
+
+    def consumer(record):
+        consumed.append(record)
+        yield machine.cpu.run(1000, domain="sys")
+
+    pair = VadPair(machine, strategy="kthread", kernel_consumer=consumer)
+    x = sine(440, 0.5, 8000)
+    writer_app(machine, x)
+    sim.run()
+    data = b"".join(r.payload for r in consumed if r.kind == "data")
+    assert len(data) >= len(x) * 2 - pair.slave.blocksize
+    assert len(pair.master_queue) == 0
+
+
+def test_modified_strategy_spawns_no_kthread():
+    sim = Simulator()
+    machine, pair = build(sim, "modified")
+    x = sine(440, 0.3, 8000)
+    records = []
+    writer_app(machine, x)
+    collect_records(machine, records, stop_after_bytes=len(x) * 2)
+    sim.run()
+    assert pair._kthread is None
+
+
+def test_user_level_strategy_costs_more_context_switches():
+    """The essence of Figure 5: moving the stream consumer to user space
+    costs measurably more context switches than in-kernel streaming."""
+
+    def run(kernel_mode):
+        sim = Simulator()
+        machine = Machine(sim, "producer")
+        if kernel_mode:
+            def consumer(record):
+                yield machine.cpu.run(2000, domain="sys")
+            pair = VadPair(machine, kernel_consumer=consumer)
+        else:
+            pair = VadPair(machine)
+            records = []
+            collect_records(machine, records, stop_after_bytes=10**9)
+        x = sine(440, 10.0, 8000)
+
+        def app():
+            fd = yield from machine.sys_open("/dev/vads")
+            yield from machine.sys_ioctl(fd, AUDIO_SETINFO, PARAMS)
+            data = encode_samples(x, PARAMS)
+            # paced writes so switches accumulate over time, as in Fig 5
+            step = PARAMS.bytes_for(0.5)
+            for pos in range(0, len(data), step):
+                yield from machine.sys_write(fd, data[pos : pos + step])
+                yield Sleep(0.5)
+
+        machine.spawn(app(), name="writer")
+        sim.run(until=10.0)
+        return machine.cpu.stats.context_switches
+
+    kernel_switches = run(kernel_mode=True)
+    user_switches = run(kernel_mode=False)
+    assert user_switches > kernel_switches
+
+
+def test_invalid_strategy_rejected():
+    sim = Simulator()
+    machine = Machine(sim, "m")
+    with pytest.raises(ValueError):
+        VadPair(machine, strategy="bogus")
+    with pytest.raises(ValueError):
+        VadPair(
+            machine,
+            strategy="modified",
+            kernel_consumer=lambda r: iter(()),
+            slave_path="/dev/vads2",
+            master_path="/dev/vadm2",
+        )
+
+
+def test_close_wakes_blocked_reader():
+    sim = Simulator()
+    machine, pair = build(sim, "kthread")
+
+    def reader():
+        fd = yield from machine.sys_open("/dev/vadm")
+        try:
+            yield from machine.sys_read(fd, 1024)
+        except Exception as err:
+            return type(err).__name__
+
+    p = machine.spawn(reader())
+    sim.schedule(1.0, pair.close)
+    sim.run()
+    assert p.result == "QueueClosed"

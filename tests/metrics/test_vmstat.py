@@ -1,0 +1,90 @@
+"""vmstat sampler and report helpers."""
+
+import pytest
+
+from repro.kernel import Machine
+from repro.metrics import VmstatSampler, ascii_table, series_summary
+from repro.sim import Simulator, Sleep
+
+
+def test_sampler_counts_intervals():
+    sim = Simulator()
+    m = Machine(sim, "box")
+    vs = VmstatSampler(m, interval=1.0)
+    vs.start()
+    sim.run(until=10.5)
+    assert len(vs.samples) == 10
+
+
+def test_idle_machine_shows_idle():
+    sim = Simulator()
+    m = Machine(sim, "box")
+    vs = VmstatSampler(m)
+    vs.start()
+    sim.run(until=5.0)
+    assert all(s.idle_pct > 99.0 for s in vs.samples)
+    assert vs.mean_busy_pct() < 1.0
+
+
+def test_busy_machine_shows_user_time():
+    sim = Simulator()
+    m = Machine(sim, "box", cpu_freq_hz=100e6)
+
+    def hog():
+        while True:
+            yield m.cpu.run(50e6, domain="user")  # 0.5 s of work
+            yield Sleep(0.5)
+
+    m.spawn(hog())
+    vs = VmstatSampler(m)
+    vs.start()
+    sim.run(until=10.0)
+    assert vs.mean_user_pct() == pytest.approx(50.0, abs=8.0)
+
+
+def test_context_switch_rate_tracks_wakes():
+    sim = Simulator()
+    m = Machine(sim, "box")
+    m.start_housekeeping(wakes_per_second=3.0)
+    vs = VmstatSampler(m)
+    vs.start()
+    sim.run(until=20.0)
+    assert vs.mean_context_switch_rate() == pytest.approx(6.0, abs=1.0)
+
+
+def test_sampler_does_not_perturb_target():
+    """The observer itself must not add CPU load or switches."""
+    results = {}
+    for sampled in (False, True):
+        sim = Simulator()
+        m = Machine(sim, "box")
+        m.start_housekeeping()
+        if sampled:
+            VmstatSampler(m).start()
+        sim.run(until=10.0)
+        results[sampled] = m.cpu.stats.context_switches
+    assert results[True] == results[False]
+
+
+def test_stop_sampler():
+    sim = Simulator()
+    m = Machine(sim, "box")
+    vs = VmstatSampler(m)
+    vs.start()
+    sim.schedule(3.5, vs.stop)
+    sim.run(until=10.0)
+    assert len(vs.samples) == 3
+
+
+def test_ascii_table_alignment():
+    table = ascii_table(["name", "value"], [["a", 1.23456], ["long-name", 7]])
+    lines = table.splitlines()
+    assert len(lines) == 4
+    assert "1.235" in table
+    assert all(len(l) == len(lines[0]) for l in lines[:2])
+
+
+def test_series_summary():
+    s = series_summary([1.0, 2.0, 3.0])
+    assert s == {"min": 1.0, "mean": 2.0, "max": 3.0}
+    assert series_summary([]) == {"min": 0.0, "mean": 0.0, "max": 0.0}

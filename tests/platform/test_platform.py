@@ -1,0 +1,208 @@
+"""Hardware profiles, NVRAM, archives, and the full netboot sequence."""
+
+import pytest
+
+from repro.kernel import Machine
+from repro.net import EthernetSegment
+from repro.platform import (
+    BootServer,
+    DhcpServer,
+    EON_4000,
+    FAST_WORKSTATION,
+    Nvram,
+    build_ramdisk,
+    make_machine,
+    netboot,
+    pack_archive,
+    unpack_archive,
+)
+from repro.platform.archive import overlay
+from repro.sim import Process, Simulator
+
+
+# -- profiles -------------------------------------------------------------------
+
+
+def test_profiles_match_paper():
+    assert EON_4000.cpu_freq_hz == 233e6
+    assert EON_4000.ram_mb == 64
+    assert EON_4000.has_flash
+    assert FAST_WORKSTATION.cpu_freq_hz > 2 * EON_4000.cpu_freq_hz
+
+
+def test_make_machine_applies_profile():
+    sim = Simulator()
+    m = make_machine(sim, "es1", EON_4000)
+    assert m.cpu.freq_hz == 233e6
+    assert m.nvram["profile"] == "Neoware EON 4000"
+
+
+# -- NVRAM ----------------------------------------------------------------------
+
+
+def test_nvram_store_load():
+    nv = Nvram()
+    nv.store("ca_digest", b"\x01" * 32)
+    assert nv.load("ca_digest") == b"\x01" * 32
+    assert nv.load("missing") is None
+
+
+def test_nvram_capacity_enforced():
+    nv = Nvram(capacity_bytes=64)
+    nv.store("a", b"x" * 40)
+    with pytest.raises(ValueError):
+        nv.store("b", b"y" * 40)
+    # overwriting the same key reuses its space
+    nv.store("a", b"z" * 50)
+
+
+def test_nvram_type_checked():
+    with pytest.raises(TypeError):
+        Nvram().store("k", "not-bytes")
+
+
+# -- archive --------------------------------------------------------------------
+
+
+def test_archive_round_trip():
+    files = {"/etc/a": b"alpha", "/etc/b": b"", "/bin/c": bytes(range(256))}
+    assert unpack_archive(pack_archive(files)) == files
+
+
+def test_archive_rejects_garbage():
+    with pytest.raises(ValueError):
+        unpack_archive(b"TAR?nope")
+
+
+def test_overlay_machine_specific_wins():
+    skeleton = {"/etc/es.conf": b"channel=auto\n", "/etc/common": b"1"}
+    specific = {"/etc/es.conf": b"channel=lobby\n"}
+    merged = overlay(skeleton, specific)
+    assert merged["/etc/es.conf"] == b"channel=lobby\n"
+    assert merged["/etc/common"] == b"1"
+
+
+def test_ramdisk_checksum_changes_with_content():
+    a = build_ramdisk("1.0")
+    b = build_ramdisk("1.0", extra_files={"/etc/x": b"y"})
+    assert a.checksum() != b.checksum()
+    assert b.size_bytes > a.size_bytes
+
+
+# -- netboot ------------------------------------------------------------------------
+
+
+def boot_fixture(sim, n_speakers=1, bandwidth=100e6, configs=None):
+    lan = EthernetSegment(sim, bandwidth_bps=bandwidth, latency=50e-6)
+    server = Machine(sim, "bootsrv", cpu_freq_hz=1e9)
+    server.attach_network(lan, "10.1.9.1")
+    key = b"host-key-secret"
+    image = build_ramdisk("2.3", boot_server_key=key)
+    boot = BootServer(
+        server,
+        image,
+        key,
+        configs=configs or {},
+        default_config={"/etc/es.conf": b"channel=lobby\n"},
+    )
+    boot.start()
+    DhcpServer(server).start()
+    speakers = []
+    for i in range(n_speakers):
+        es = make_machine(sim, f"es{i}", EON_4000)
+        es.attach_network(lan, "0.0.0.0")
+        speakers.append(es)
+    return lan, boot, speakers
+
+
+def test_single_speaker_boots():
+    sim = Simulator()
+    lan, boot, (es,) = boot_fixture(sim)
+    proc = Process.spawn(sim, netboot(es), "boot")
+    sim.run()
+    result = proc.result
+    assert result.ip == "10.1.9.10"
+    assert es.net.nic.ip == result.ip
+    assert result.image_version == "2.3"
+    assert result.etc["/etc/es.conf"] == b"channel=lobby\n"
+    assert result.boot_seconds > 0.1  # a 2 MB image is not instant
+    assert result.image_bytes >= 2_000_000
+
+
+def test_machine_specific_config_overrides_skeleton():
+    sim = Simulator()
+    lan, boot, (es,) = boot_fixture(
+        sim, configs={"es0": {"/etc/es.conf": b"channel=announce\n",
+                              "/etc/hostname": b"es-lobby-3\n"}}
+    )
+    proc = Process.spawn(sim, netboot(es), "boot")
+    sim.run()
+    assert proc.result.etc["/etc/es.conf"] == b"channel=announce\n"
+    assert proc.result.etc["/etc/hostname"] == b"es-lobby-3\n"
+
+
+def test_many_speakers_boot_and_get_unique_ips():
+    sim = Simulator()
+    lan, boot, speakers = boot_fixture(sim, n_speakers=5)
+    procs = [Process.spawn(sim, netboot(es), "boot") for es in speakers]
+    sim.run()
+    ips = {p.result.ip for p in procs}
+    assert len(ips) == 5
+    assert boot.tftp_transfers == 5
+    assert boot.config_served == 5
+
+
+def test_boot_slower_on_thin_lan():
+    times = {}
+    for bw in (10e6, 100e6):
+        sim = Simulator()
+        lan, boot, (es,) = boot_fixture(sim, bandwidth=bw)
+        proc = Process.spawn(sim, netboot(es), "boot")
+        sim.run()
+        times[bw] = proc.result.boot_seconds
+    assert times[10e6] > 3 * times[100e6]
+
+
+def test_tampered_config_rejected():
+    """The host-key check: a config not MAC'd with the ramdisk-embedded
+    key must be refused (the §5.1 trust bootstrap)."""
+    sim = Simulator()
+    lan = EthernetSegment(sim)
+    server = Machine(sim, "bootsrv", cpu_freq_hz=1e9)
+    server.attach_network(lan, "10.1.9.1")
+    image = build_ramdisk("2.3", boot_server_key=b"the-real-key")
+    boot = BootServer(
+        server, image, b"a-different-key",  # evil or misconfigured server
+        default_config={"/etc/es.conf": b"channel=evil\n"},
+    )
+    boot.start()
+    DhcpServer(server).start()
+    es = make_machine(sim, "es0", EON_4000)
+    es.attach_network(lan, "0.0.0.0")
+
+    def guard():
+        try:
+            yield from netboot(es)
+        except PermissionError:
+            return "rejected"
+
+    proc = Process.spawn(sim, guard(), "boot")
+    sim.run()
+    assert proc.result == "rejected"
+
+
+def test_boot_without_dhcp_times_out():
+    sim = Simulator()
+    lan = EthernetSegment(sim)
+    es = make_machine(sim, "es0", EON_4000)
+    es.attach_network(lan, "0.0.0.0")
+
+    def guard():
+        try:
+            yield from netboot(es)
+        except TimeoutError:
+            return "no-dhcp"
+
+    proc = Process.spawn(sim, guard(), "boot")
+    sim.run()
+    assert proc.result == "no-dhcp"

@@ -1,0 +1,263 @@
+"""HORS signatures, CA, authenticators, replay, and live attacks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.audio import AudioEncoding, AudioParams, sine
+from repro.core import EthernetSpeakerSystem
+from repro.security import (
+    CertificationAuthority,
+    GarbageFlooder,
+    HmacAuthenticator,
+    HorsAuthenticator,
+    HorsKeyPair,
+    Injector,
+    NullAuthenticator,
+    SimulatedPkiAuthenticator,
+)
+from repro.security.auth import ReplayWindow
+from repro.security.hors import verify
+from repro.security.keys import validate_certificate
+
+LOW = AudioParams(AudioEncoding.SLINEAR16, 8000, 1)
+
+
+# -- HORS ------------------------------------------------------------------------
+
+
+def test_hors_sign_verify():
+    kp = HorsKeyPair(b"seed", t=256, k=16)
+    sig = kp.sign(b"hello world")
+    assert verify(kp.public_key, b"hello world", sig, k=16)
+
+
+def test_hors_rejects_tampered_message():
+    kp = HorsKeyPair(b"seed", t=256, k=16)
+    sig = kp.sign(b"hello world")
+    assert not verify(kp.public_key, b"hello w0rld", sig, k=16)
+
+
+def test_hors_rejects_wrong_key():
+    kp1 = HorsKeyPair(b"one", t=256, k=16)
+    kp2 = HorsKeyPair(b"two", t=256, k=16)
+    sig = kp1.sign(b"msg")
+    assert not verify(kp2.public_key, b"msg", sig, k=16)
+
+
+def test_hors_signature_encoding_round_trip():
+    from repro.security.hors import HorsSignature
+
+    kp = HorsKeyPair(b"seed", t=256, k=16)
+    sig = kp.sign(b"payload")
+    decoded, consumed = HorsSignature.decode(sig.encode())
+    assert decoded == sig
+    assert consumed == len(sig.encode())
+
+
+def test_hors_exhaustion_tracking():
+    kp = HorsKeyPair(b"seed", t=256, k=16)
+    assert kp.max_signatures == 4
+    for _ in range(4):
+        kp.sign(b"x")
+    assert kp.exhausted
+
+
+def test_hors_invalid_params():
+    with pytest.raises(ValueError):
+        HorsKeyPair(b"s", t=100)  # not a power of two
+    with pytest.raises(ValueError):
+        HorsKeyPair(b"s", t=256, k=0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.binary(min_size=0, max_size=200))
+def test_property_hors_round_trip_any_message(message):
+    kp = HorsKeyPair(b"prop-seed", t=128, k=8)
+    assert verify(kp.public_key, message, kp.sign(message), k=8)
+
+
+# -- CA ----------------------------------------------------------------------------
+
+
+def test_ca_certificate_validates_against_pinned_digest():
+    ca = CertificationAuthority(seed=b"test-ca")
+    pinned = ca.public_key_digest()
+    stream_key = HorsKeyPair(b"stream", t=256, k=16)
+    cert = ca.certify(7, stream_key.public_key)
+    assert validate_certificate(cert, pinned)
+
+
+def test_ca_certificate_fails_with_wrong_pin():
+    ca = CertificationAuthority(seed=b"test-ca")
+    evil = CertificationAuthority(seed=b"evil-ca")
+    stream_key = HorsKeyPair(b"stream", t=256, k=16)
+    cert = evil.certify(7, stream_key.public_key)
+    assert not validate_certificate(cert, ca.public_key_digest())
+
+
+def test_ca_rolls_keys_when_exhausted():
+    ca = CertificationAuthority(seed=b"x", t=64, k=8)
+    pins = set()
+    for i in range(10):
+        ca.certify(i, HorsKeyPair(b"s%d" % i, t=64, k=8).public_key)
+        pins.add(ca.public_key_digest())
+    assert len(pins) > 1  # rolled at least once
+
+
+# -- authenticators ----------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        lambda: NullAuthenticator(),
+        lambda: HmacAuthenticator(b"k" * 32),
+        lambda: HorsAuthenticator(
+            CertificationAuthority(), 1, b"stream-seed"
+        ),
+        lambda: SimulatedPkiAuthenticator(b"k" * 32),
+    ],
+)
+def test_wrap_unwrap_round_trip(make):
+    auth = make()
+    packet = b"the packet body" * 10
+    assert auth.unwrap(auth.wrap(packet)) == packet
+
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        lambda: HmacAuthenticator(b"k" * 32),
+        lambda: HorsAuthenticator(CertificationAuthority(), 1, b"seed"),
+        lambda: SimulatedPkiAuthenticator(b"k" * 32),
+    ],
+)
+def test_tampering_detected(make):
+    auth = make()
+    env = bytearray(auth.wrap(b"honest data"))
+    env[-1] ^= 0xFF
+    assert auth.unwrap(bytes(env)) is None
+
+
+def test_hmac_wrong_key_rejected():
+    a = HmacAuthenticator(b"a" * 32)
+    b = HmacAuthenticator(b"b" * 32)
+    assert b.unwrap(a.wrap(b"data")) is None
+
+
+def test_replay_rejected():
+    auth = HmacAuthenticator(b"k" * 32)
+    env = auth.wrap(b"data")
+    assert auth.unwrap(env) == b"data"
+    assert auth.unwrap(env) is None  # replayed
+
+
+def test_replay_window_semantics():
+    w = ReplayWindow(size=4)
+    assert w.accept(1) and w.accept(2)
+    assert not w.accept(1)
+    assert w.accept(100)
+    assert not w.accept(90)  # fell out of the window
+    assert w.accept(99)
+
+
+def test_hors_authenticator_rotates_keys():
+    auth = HorsAuthenticator(
+        CertificationAuthority(), 1, b"seed", t=64, k=8
+    )
+    for i in range(20):
+        packet = b"pkt %d" % i
+        assert auth.unwrap(auth.wrap(packet)) == packet
+    assert auth.rotations > 0
+
+
+def test_garbage_never_unwraps():
+    import numpy as np
+
+    rng = np.random.default_rng(1)
+    auths = [
+        HmacAuthenticator(b"k" * 32),
+        HorsAuthenticator(CertificationAuthority(), 1, b"seed"),
+        SimulatedPkiAuthenticator(b"k" * 32),
+    ]
+    for _ in range(50):
+        junk = rng.integers(0, 256, rng.integers(1, 400), dtype=np.uint8)
+        for auth in auths:
+            assert auth.unwrap(junk.tobytes()) is None
+
+
+def test_verify_costs_ordering():
+    """The §5.1 argument in numbers: PKI verify is orders of magnitude
+    dearer than HMAC or HORS."""
+    hmac_auth = HmacAuthenticator(b"k" * 32)
+    hors_auth = HorsAuthenticator(CertificationAuthority(), 1, b"s")
+    pki_auth = SimulatedPkiAuthenticator(b"k" * 32)
+    n = 1024
+    assert pki_auth.verify_cycles(n) > 10 * hors_auth.verify_cycles(n)
+    assert pki_auth.verify_cycles(n) > 10 * hmac_auth.verify_cycles(n)
+
+
+# -- live attacks -----------------------------------------------------------------
+
+
+def secure_system(auth_factory):
+    system = EthernetSpeakerSystem()
+    producer = system.add_producer()
+    channel = system.add_channel("secure", params=LOW, compress="never")
+    sender_auth = auth_factory()
+    system.add_rebroadcaster(producer, channel, authenticator=sender_auth)
+    node = system.add_speaker(channel=channel, verifier=sender_auth)
+    return system, producer, channel, node
+
+
+def test_injected_packets_rejected_with_auth():
+    system, producer, channel, node = secure_system(
+        lambda: HmacAuthenticator(b"k" * 32)
+    )
+    attacker = system.add_producer(name="attacker", housekeeping=False)
+    Injector(attacker.machine, channel, rate_pps=50).start()
+    x = sine(440, 3.0, 8000)
+    system.play_pcm(producer, x, LOW)
+    system.run(until=6.0)
+    st = node.stats
+    assert st.auth_rejected > 50  # forgeries spotted
+    assert st.played > 0  # the honest stream still plays
+    assert node.sink.audio_seconds == pytest.approx(3.0, abs=0.3)
+
+
+def test_injected_packets_pollute_without_auth():
+    """Control experiment: with no authentication the forged packets are
+    indistinguishable and do reach the playback path."""
+    system = EthernetSpeakerSystem()
+    producer = system.add_producer()
+    channel = system.add_channel("open", params=LOW, compress="never")
+    system.add_rebroadcaster(producer, channel)
+    node = system.add_speaker(channel=channel)
+    attacker = system.add_producer(name="attacker", housekeeping=False)
+    Injector(attacker.machine, channel, rate_pps=50).start()
+    system.play_pcm(producer, sine(440, 3.0, 8000), LOW)
+    system.run(until=6.0)
+    # attacker data counted as received data packets (seq chaos etc.)
+    assert node.stats.data_rx > 46 + 100  # real blocks + many forgeries
+
+
+def test_garbage_flood_is_cheap_for_fast_verifier_fatal_for_pki():
+    """DoS resistance (§5.1): measure speaker CPU under a flood."""
+    def run(auth_factory):
+        system, producer, channel, node = secure_system(auth_factory)
+        GarbageFlooder(
+            system.add_producer(name="flood", housekeeping=False).machine,
+            channel.group_ip,
+            channel.port,
+            rate_pps=300,
+        ).start()
+        system.play_pcm(producer, sine(440, 3.0, 8000), LOW)
+        system.run(until=5.0)
+        busy = node.machine.cpu.stats.busy_seconds / system.sim.now
+        return busy, node
+
+    hmac_busy, hmac_node = run(lambda: HmacAuthenticator(b"k" * 32))
+    pki_busy, pki_node = run(lambda: SimulatedPkiAuthenticator(b"k" * 32))
+    assert pki_busy > 3 * hmac_busy  # flood verification burns the CPU
+    assert hmac_node.stats.played > 0

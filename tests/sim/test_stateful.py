@@ -1,0 +1,139 @@
+"""Hypothesis stateful testing of the simulation primitives.
+
+The queues and the event loop carry the entire system; model-based tests
+shake out ordering bugs that example-based tests miss.
+"""
+
+from collections import deque
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.sim import Process, Queue, Simulator, Sleep
+
+
+class QueueModel(RuleBasedStateMachine):
+    """Drive a sim Queue against a plain deque model.
+
+    Producers/consumers run as simulation processes; after every rule the
+    sim is drained and the observable state must match the model.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.sim = Simulator()
+        self.capacity = 4
+        self.queue = Queue(capacity=self.capacity, name="model")
+        self.model: deque = deque()
+        self.consumed = []
+        self.expected_consumed = []
+        self._counter = 0
+
+    @rule()
+    def put_nowait(self):
+        self._counter += 1
+        item = self._counter
+        accepted = self.queue.put_nowait(item)
+        if len(self.model) < self.capacity:
+            assert accepted
+            self.model.append(item)
+        else:
+            assert not accepted
+
+    @rule()
+    def get_nowait(self):
+        if self.model:
+            assert self.queue.get_nowait() == self.model.popleft()
+        else:
+            try:
+                self.queue.get_nowait()
+                raise AssertionError("expected IndexError")
+            except IndexError:
+                pass
+
+    @rule(n=st.integers(min_value=1, max_value=3))
+    def blocking_consumer_then_producer(self, n):
+        """n consumers block, then n items arrive: FIFO handoff."""
+        got = []
+
+        def consumer():
+            item = yield self.queue.get()
+            got.append(item)
+
+        for _ in range(n):
+            Process.spawn(self.sim, consumer(), "c")
+        self.sim.run()
+        # consumers may have eaten the backlog first
+        from_backlog = []
+        while self.model and len(from_backlog) < n:
+            from_backlog.append(self.model.popleft())
+        still_waiting = n - len(from_backlog)
+        produced = []
+        for _ in range(still_waiting):
+            self._counter += 1
+            produced.append(self._counter)
+            assert self.queue.put_nowait(self._counter)
+        self.sim.run()
+        assert got == from_backlog + produced
+
+    @invariant()
+    def same_length(self):
+        assert len(self.queue) == len(self.model)
+
+    @invariant()
+    def same_content(self):
+        assert list(self.queue._items) == list(self.model)
+
+
+TestQueueModel = QueueModel.TestCase
+TestQueueModel.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)
+
+
+class ClockModel(RuleBasedStateMachine):
+    """The clock never runs backwards, events never fire early/late."""
+
+    def __init__(self):
+        super().__init__()
+        self.sim = Simulator()
+        self.fired = []
+
+    @rule(delay=st.floats(min_value=0.0, max_value=100.0))
+    def schedule(self, delay):
+        due = self.sim.now + delay
+        self.sim.schedule(
+            delay, lambda d=due: self.fired.append((d, self.sim.now))
+        )
+
+    @rule()
+    def run_some(self):
+        for _ in range(5):
+            if not self.sim.step():
+                break
+
+    @rule(horizon=st.floats(min_value=0.0, max_value=50.0))
+    def run_until(self, horizon):
+        self.sim.run(until=self.sim.now + horizon)
+
+    @invariant()
+    def events_fired_exactly_on_time(self):
+        for due, actual in self.fired:
+            assert actual == due
+
+    @invariant()
+    def fired_in_order(self):
+        times = [actual for _, actual in self.fired]
+        assert times == sorted(times)
+
+
+TestClockModel = ClockModel.TestCase
+TestClockModel.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,147 @@
+"""Cross-package integration: a speaker's whole life (§2.4 -> §2.3).
+
+PXE-boot an EON 4000 from the boot server, read the channel selection out
+of the overlaid /etc configuration, discover the channel's multicast
+coordinates from the catalog, start the Ethernet Speaker, and verify it
+plays the stream that was already running — all in one simulation.
+"""
+
+import pytest
+
+from repro.audio import AudioEncoding, AudioParams, sine, snr_db
+from repro.core import EthernetSpeakerSystem
+from repro.core.speaker import EthernetSpeaker
+from repro.kernel import AudioDevice, HardwareAudioDriver, SpeakerSink
+from repro.mgmt import CatalogAnnouncer, CatalogListener
+from repro.platform import BootServer, DhcpServer, build_ramdisk, netboot
+from repro.sim import Process, Sleep
+
+PARAMS = AudioParams(AudioEncoding.SLINEAR16, 8000, 1)
+
+
+def test_full_speaker_lifecycle():
+    system = EthernetSpeakerSystem()
+
+    # --- the audio side: a channel already streaming --------------------------
+    producer = system.add_producer()
+    channel = system.add_channel("lobby", params=PARAMS, compress="never")
+    system.add_rebroadcaster(producer, channel, control_interval=0.5)
+    announcer = CatalogAnnouncer(producer.machine, interval=0.5)
+    announcer.add_channel(channel)
+    announcer.start()
+    signal = sine(440, 25.0, 8000)
+    system.play_pcm(producer, signal, PARAMS, source_paced=True)
+
+    # --- the infrastructure side: boot server on the same LAN -----------------
+    boot_machine = system.add_producer(name="bootsrv", housekeeping=False)
+    key = b"host-key"
+    image = build_ramdisk("3.1", boot_server_key=key)
+    BootServer(
+        boot_machine.machine, image, key,
+        default_config={"/etc/es.conf": b"channel=lobby\nvolume=80\n"},
+    ).start()
+    DhcpServer(boot_machine.machine,
+               boot_server_ip=boot_machine.machine.net.ip).start()
+
+    # --- a factory-fresh speaker ----------------------------------------------
+    from repro.platform import EON_4000, make_machine
+
+    es = make_machine(system.sim, "fresh-es", EON_4000)
+    es.attach_network(system.lan, "0.0.0.0")
+    sink = SpeakerSink()
+    hw = HardwareAudioDriver(es, sink)
+    es.register_device("/dev/audio", AudioDevice(es, hw))
+    outcome = {}
+
+    def lifecycle():
+        # 1. PXE boot (starts 2 s into the stream)
+        yield Sleep(2.0)
+        result = yield from netboot(es)
+        outcome["boot"] = result
+        # 2. parse channel selection out of the overlaid /etc
+        conf = dict(
+            line.split("=", 1)
+            for line in result.etc["/etc/es.conf"].decode().splitlines()
+            if "=" in line
+        )
+        wanted = conf["channel"]
+        # 3. find it in the catalog
+        listener = CatalogListener(es)
+        listener.start()
+        entry = None
+        while entry is None:
+            yield Sleep(0.25)
+            entry = listener.find(wanted)
+        outcome["entry"] = entry
+        # 4. tune in
+        speaker = EthernetSpeaker(es, entry.group_ip, entry.port)
+        speaker.start()
+        outcome["speaker"] = speaker
+
+    Process.spawn(system.sim, lifecycle(), "lifecycle")
+    system.run(until=25.0)
+
+    assert outcome["boot"].image_version == "3.1"
+    assert outcome["entry"].name == "lobby"
+    speaker = outcome["speaker"]
+    assert speaker.stats.played > 0
+    assert speaker.stats.control_rx > 0
+    # the fresh speaker plays the same tone, cleanly, mid-stream: right
+    # frequency (zero-crossing count) and right level, no dropouts
+    import numpy as np
+
+    out = sink.waveform()
+    assert len(out) > 8000 * 5
+    seconds = len(out) / 8000
+    crossings = int(np.sum(np.diff(np.signbit(out))))
+    assert crossings == pytest.approx(880 * seconds, rel=0.02)
+    assert float(np.sqrt(np.mean(out**2))) == pytest.approx(
+        0.8 / np.sqrt(2), rel=0.05
+    )
+
+
+def test_boot_then_play_time_includes_all_stages():
+    """Boot-to-audio latency decomposes into boot + catalog + sync."""
+    system = EthernetSpeakerSystem()
+    producer = system.add_producer()
+    channel = system.add_channel("pa", params=PARAMS, compress="never")
+    system.add_rebroadcaster(producer, channel, control_interval=0.5)
+    announcer = CatalogAnnouncer(producer.machine, interval=0.5)
+    announcer.add_channel(channel)
+    announcer.start()
+    system.play_synthetic(producer, 30.0, PARAMS)
+
+    boot_node = system.add_producer(name="bootsrv", housekeeping=False)
+    key = b"k"
+    BootServer(boot_node.machine, build_ramdisk("1", boot_server_key=key),
+               key, default_config={"/etc/es.conf": b"channel=pa\n"}).start()
+    DhcpServer(boot_node.machine).start()
+
+    from repro.platform import EON_4000, make_machine
+
+    es = make_machine(system.sim, "es-x", EON_4000)
+    es.attach_network(system.lan, "0.0.0.0")
+    sink = SpeakerSink()
+    es.register_device("/dev/audio",
+                       AudioDevice(es, HardwareAudioDriver(es, sink)))
+    marks = {}
+
+    def lifecycle():
+        result = yield from netboot(es)
+        marks["booted"] = es.sim.now
+        listener = CatalogListener(es)
+        listener.start()
+        while listener.find("pa") is None:
+            yield Sleep(0.1)
+        marks["catalog"] = es.sim.now
+        entry = listener.find("pa")
+        speaker = EthernetSpeaker(es, entry.group_ip, entry.port)
+        speaker.start()
+        marks["speaker"] = speaker
+
+    Process.spawn(system.sim, lifecycle(), "lifecycle")
+    system.run(until=15.0)
+    first_audio = marks["speaker"].stats.first_play_time
+    assert marks["booted"] < marks["catalog"] < first_audio
+    # cold power-on to audible audio in a handful of seconds
+    assert first_audio < 5.0

@@ -1,0 +1,52 @@
+"""Smoke tests: every example script runs and prints sane results."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "playback skew across speakers" in out
+    assert "compression" in out
+    assert "Mbit/s" in out
+
+
+def test_internet_radio_relay():
+    out = run_example("internet_radio_relay.py")
+    assert "WAN:" in out
+    assert "skew across the four speakers" in out
+
+
+def test_campus_pa():
+    out = run_example("campus_pa.py")
+    assert "Zone auto-volume" in out
+    assert "12/12 speakers returned" in out
+
+
+def test_time_shift():
+    out = run_example("time_shift.py")
+    assert "captured 10.0 s" in out
+    assert "exported" in out
+
+
+def test_secure_streaming():
+    out = run_example("secure_streaming.py")
+    assert "digest: True" in out
+    assert "HORS signatures" in out
+    assert "per-packet PKI" in out
