@@ -173,6 +173,14 @@ def _parse_control(channel_id: int, seq: int, body: bytes) -> ControlPacket:
     )
     offset = _CONTROL.size
     name_len = body[offset]
+    # strict framing: the name length byte must describe exactly the rest
+    # of the datagram, so a truncated packet can never parse as a shorter
+    # name and trailing junk can never ride along unnoticed
+    if len(body) != offset + 1 + name_len:
+        raise ProtocolError(
+            f"control packet length mismatch: name_len={name_len}, "
+            f"{len(body) - offset - 1} bytes follow"
+        )
     name = body[offset + 1 : offset + 1 + name_len].decode("utf-8")
     return ControlPacket(
         channel_id=channel_id,
@@ -209,6 +217,11 @@ def _parse_announce(seq: int, body: bytes) -> AnnouncePacket:
         )
         offset += _ANNOUNCE_ENTRY.size
         name_len = body[offset]
+        if len(body) < offset + 1 + name_len:
+            raise ProtocolError(
+                f"announce entry truncated inside name ({name_len} "
+                f"declared, {len(body) - offset - 1} present)"
+            )
         name = body[offset + 1 : offset + 1 + name_len].decode("utf-8")
         offset += 1 + name_len
         entries.append(

@@ -19,13 +19,21 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.audio.params import AudioParams
+from repro.metrics.telemetry import get_telemetry
 
 
 class RateLimiter:
-    """Paces PCM blocks to their playback rate."""
+    """Paces PCM blocks to their playback rate.
 
-    def __init__(self, enabled: bool = True):
+    ``telemetry`` (optional) records every computed sleep into the
+    ``ratelimiter.sleep`` histogram and tracks how far behind schedule
+    the sender is in the ``ratelimiter.lag`` gauge; disabled telemetry
+    costs two no-op calls per block.
+    """
+
+    def __init__(self, enabled: bool = True, telemetry=None):
         self.enabled = enabled
+        self.telemetry = telemetry if telemetry is not None else get_telemetry()
         self._origin: Optional[float] = None
         self._stream_pos = 0.0  # seconds of audio released so far
 
@@ -62,6 +70,9 @@ class RateLimiter:
             self._origin = now
         release_at = self._origin + self._stream_pos
         self._stream_pos += params.duration_of(nbytes)
+        self.telemetry.set_gauge("ratelimiter.lag", max(0.0, now - release_at))
         if not self.enabled:
             return 0.0
-        return max(0.0, release_at - now)
+        delay = max(0.0, release_at - now)
+        self.telemetry.observe("ratelimiter.sleep", delay)
+        return delay

@@ -27,6 +27,7 @@ from repro.codec.cost import DEFAULT_COSTS, estimated_ratio
 from repro.core.channel import ChannelConfig
 from repro.core.protocol import ControlPacket, DataPacket
 from repro.core.ratelimiter import RateLimiter
+from repro.metrics.telemetry import get_telemetry
 from repro.sim.process import Process, Sleep
 from repro.sim.resources import QueueClosed
 
@@ -40,12 +41,23 @@ class RebroadcasterStats:
     sent_payload_bytes: int = 0
     records_in: int = 0
     suspended_blocks: int = 0
+    suspended_bytes: int = 0
 
     @property
     def compression_ratio(self) -> float:
-        """sent / raw (1.0 means no compression)."""
+        """sent / raw over *transmitted* blocks (1.0 = no compression).
+
+        Edge reporting: before any block has been ingested the ratio is
+        1.0 by convention (nothing has been altered).  When blocks were
+        ingested but every one was suspended (``raw_bytes == 0`` with
+        ``suspended_blocks > 0``) the ratio is 0.0 — nothing reached the
+        wire, and reporting 1.0 here used to make a fully-suspended
+        channel look like a healthy uncompressed one.  Suspended blocks
+        are accounted in ``suspended_bytes`` and never skew the ratio of
+        the blocks that were actually sent.
+        """
         if self.raw_bytes == 0:
-            return 1.0
+            return 0.0 if self.suspended_blocks else 1.0
         return self.sent_payload_bytes / self.raw_bytes
 
 
@@ -62,16 +74,30 @@ class Rebroadcaster:
         master_path: str = "/dev/vadm",
         authenticator=None,
         cost_model=None,
+        telemetry=None,
     ):
         self.machine = machine
         self.channel = channel
         self.control_interval = control_interval
-        self.limiter = RateLimiter(enabled=rate_limit)
+        self.telemetry = telemetry if telemetry is not None else get_telemetry()
+        self.limiter = RateLimiter(enabled=rate_limit,
+                                   telemetry=self.telemetry)
         self.real_codec = real_codec
         self.master_path = master_path
         self.authenticator = authenticator
         self.costs = cost_model or DEFAULT_COSTS
         self.stats = RebroadcasterStats()
+        # cached instruments: one label per channel so system-level
+        # conservation can sum with Telemetry.total(); with telemetry
+        # disabled these are shared no-op singletons
+        tel, label = self.telemetry, f"ch{channel.channel_id}"
+        self._track = f"{machine.name}/rb"
+        self._c_data = tel.counter(f"rebroadcaster.data_sent[{label}]")
+        self._c_ctl = tel.counter(f"rebroadcaster.control_sent[{label}]")
+        self._c_raw = tel.counter(f"rebroadcaster.raw_bytes[{label}]")
+        self._c_wire = tel.counter(f"rebroadcaster.sent_bytes[{label}]")
+        self._c_susp = tel.counter(f"rebroadcaster.suspended[{label}]")
+        self._c_fail = tel.counter(f"rebroadcaster.send_failures[{label}]")
         self.suspended = False
         self._proc: Optional[Process] = None
         self._params: Optional[AudioParams] = None
@@ -169,20 +195,28 @@ class Rebroadcaster:
             self._configure(self.channel.params)
             self._need_control = True
         params = self._params
+        tracer = self.telemetry.tracer
         # §3.1: sleep exactly as long as the block takes to play
         play_at = self.limiter.stream_pos
         delay = self.limiter.delay_before(len(payload), params, machine.sim.now)
         if delay > 0:
+            wait = tracer.begin("ratelimiter.wait", track=self._track)
             yield Sleep(delay)
+            tracer.end(wait)
         if self.suspended:
             # transmission suspended (no listeners): the stream clock
             # advanced above, the block itself goes nowhere
             self.stats.suspended_blocks += 1
+            self.stats.suspended_bytes += len(payload)
+            self._c_susp.inc()
             return
         if self._need_control:
             self._need_control = False
             yield from self._send_control(sock)
+        enc = tracer.begin("packet.encode", track=self._track,
+                           bytes=len(payload))
         wire_payload, synthetic = yield from self._compress(payload, params)
+        tracer.end(enc, wire_bytes=len(wire_payload))
         self._seq += 1
         packet = DataPacket(
             channel_id=self.channel.channel_id,
@@ -193,10 +227,20 @@ class Rebroadcaster:
             synthetic=synthetic,
             pcm_bytes=len(payload),
         )
-        yield from self._send(sock, packet.encode())
+        ok = yield from self._send(sock, packet.encode())
         self.stats.data_sent += 1
         self.stats.raw_bytes += len(payload)
         self.stats.sent_payload_bytes += len(wire_payload)
+        self._c_data.inc()
+        self._c_raw.inc(len(payload))
+        self._c_wire.inc(len(wire_payload))
+        if not ok:
+            self._c_fail.inc()
+        else:
+            tracer.flow_begin(
+                (self.channel.channel_id, self._seq),
+                "packet.flight", track=self._track,
+            )
         if machine.sim.now - self._last_control >= self.control_interval:
             yield from self._send_control(sock)
 
@@ -236,6 +280,7 @@ class Rebroadcaster:
         self._last_control = self.machine.sim.now
         yield from self._send(sock, packet.encode())
         self.stats.control_sent += 1
+        self._c_ctl.inc()
 
     def _send(self, sock, wire: bytes):
         machine = self.machine
@@ -250,3 +295,4 @@ class Rebroadcaster:
         ok = sock.sendto(wire, (self.channel.group_ip, self.channel.port))
         if not ok:
             self.stats.send_failures += 1
+        return ok

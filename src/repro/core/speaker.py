@@ -34,6 +34,7 @@ from repro.core.protocol import (
     parse_packet,
 )
 from repro.kernel.audio import AUDIO_SETINFO
+from repro.metrics.telemetry import get_telemetry
 from repro.sim.process import Process, ProcessKilled, Sleep
 
 
@@ -87,6 +88,7 @@ class EthernetSpeaker:
         room=None,
         conceal_losses: bool = False,
         name: str = "",
+        telemetry=None,
     ):
         self.machine = machine
         self.group_ip = group_ip
@@ -110,6 +112,17 @@ class EthernetSpeaker:
         self.last_output_rms = 0.0
         self.name = name or f"es-{machine.name}"
         self.stats = SpeakerStats()
+        self.telemetry = telemetry if telemetry is not None else get_telemetry()
+        tel, label = self.telemetry, self.name
+        self._c_data_rx = tel.counter(f"speaker.data_rx[{label}]")
+        self._c_ctl_rx = tel.counter(f"speaker.control_rx[{label}]")
+        self._c_played = tel.counter(f"speaker.played[{label}]")
+        self._c_late = tel.counter(f"speaker.late_dropped[{label}]")
+        self._c_waiting = tel.counter(f"speaker.waiting_dropped[{label}]")
+        self._c_gaps = tel.counter(f"speaker.seq_gaps[{label}]")
+        self._c_garbage = tel.counter(f"speaker.garbage_rx[{label}]")
+        self._last_arrival: Optional[float] = None
+        self._last_block_seconds = 0.0
         self._proc: Optional[Process] = None
         self._params: Optional[AudioParams] = None
         self._decoder = None
@@ -171,6 +184,7 @@ class EthernetSpeaker:
                     packet = parse_packet(wire)
                 except ProtocolError:
                     self.stats.garbage_rx += 1
+                    self._c_garbage.inc()
                     continue
                 if isinstance(packet, ControlPacket):
                     yield from self._handle_control(fd, packet)
@@ -183,6 +197,7 @@ class EthernetSpeaker:
 
     def _handle_control(self, fd, packet: ControlPacket):
         self.stats.control_rx += 1
+        self._c_ctl_rx.inc()
         if packet.params != self._params:
             self._params = packet.params
             yield from self.machine.sys_ioctl(fd, AUDIO_SETINFO, packet.params)
@@ -202,19 +217,44 @@ class EthernetSpeaker:
 
     def _handle_data(self, fd, packet: DataPacket):
         machine = self.machine
+        tel = self.telemetry
+        arrived = machine.sim.now
         self.stats.data_rx += 1
+        self._c_data_rx.inc()
+        flight = tel.tracer.flow_end(
+            (packet.channel_id, packet.seq), "packet.flight", track=self.name
+        )
+        if flight is not None:
+            tel.observe("pipeline.arrival_latency", flight)
+        if self._last_arrival is not None and self._last_block_seconds > 0:
+            # inter-packet jitter: deviation of the arrival spacing from
+            # the nominal block duration the producer paced to
+            tel.observe(
+                "pipeline.jitter",
+                abs((arrived - self._last_arrival) - self._last_block_seconds),
+            )
+        self._last_arrival = arrived
+        if self._params is not None:
+            self._last_block_seconds = self._params.duration_of(
+                packet.pcm_bytes or len(packet.payload)
+            )
         if self._anchor is None or self._params is None:
             # §2.3: "The Ethernet Speaker has to wait till it receives a
             # control packet before it can start playing"
             self.stats.waiting_dropped += 1
+            self._c_waiting.inc()
             return
         gap = 0
         if self._last_seq is not None and packet.seq > self._last_seq + 1:
             gap = packet.seq - self._last_seq - 1
             self.stats.seq_gaps += gap
+            self._c_gaps.inc(gap)
+            tel.tracer.instant("speaker.gap", track=self.name, missing=gap)
         self._last_seq = max(self._last_seq or 0, packet.seq)
 
+        decode_span = tel.tracer.begin("speaker.decode", track=self.name)
         pcm = yield from self._decode(packet)
+        tel.tracer.end(decode_span)
 
         if (
             self.conceal_losses
@@ -228,6 +268,7 @@ class EthernetSpeaker:
                 self._bytes_written += len(self._last_pcm)
                 yield from machine.sys_write(fd, self._last_pcm)
                 self.stats.concealed += 1
+                tel.count(f"speaker.concealed[{self.name}]")
         self._last_pcm = pcm
 
         anchor_time, anchor_pos = self._anchor
@@ -245,6 +286,9 @@ class EthernetSpeaker:
         if now - deadline > self.epsilon:
             # §3.2: too late -> throw the data away
             self.stats.late_dropped += 1
+            self._c_late.inc()
+            tel.tracer.instant("speaker.late_drop", track=self.name,
+                               seq=packet.seq, late_by=now - deadline)
             return
         self.stats.play_log.append((packet.play_at, machine.sim.now))
         self.stats.write_offsets.append((packet.play_at, self._bytes_written))
@@ -253,6 +297,14 @@ class EthernetSpeaker:
         self._bytes_written += len(pcm)
         yield from machine.sys_write(fd, pcm)
         self.stats.played += 1
+        self._c_played.inc()
+        if flight is not None:
+            # producer send -> committed to the audio ring: the paper's
+            # end-to-end path, playout buffering included
+            tel.observe("pipeline.e2e_latency",
+                        flight + (machine.sim.now - arrived))
+        tel.set_gauge(f"speaker.rx_queue[{self.name}]",
+                      self._sock.queued if self._sock else 0)
 
     def _decode(self, packet: DataPacket):
         """Payload -> PCM bytes in the device's configured format."""

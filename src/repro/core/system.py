@@ -39,6 +39,12 @@ from repro.kernel.audio import (
 )
 from repro.kernel.machine import Machine
 from repro.kernel.vad import VadPair
+from repro.metrics.telemetry import (
+    NULL,
+    ChannelReport,
+    PipelineReport,
+    Telemetry,
+)
 from repro.net.monitor import BandwidthMonitor
 from repro.net.segment import EthernetSegment
 from repro.sim.core import Simulator
@@ -57,6 +63,7 @@ class SpeakerNode:
     speaker: EthernetSpeaker
     sink: SpeakerSink
     device: AudioDevice
+    channel: Optional[ChannelConfig] = None
 
     @property
     def stats(self):
@@ -73,8 +80,23 @@ class EthernetSpeakerSystem:
         jitter: float = 0.0,
         loss_rate: float = 0.0,
         seed: int = 0,
+        telemetry=False,
     ):
         self.sim = Simulator()
+        # telemetry: False/None -> disabled (near-zero overhead), True ->
+        # a fresh registry on this system's sim clock, or inject your own
+        if telemetry is True:
+            telemetry = Telemetry(sim=self.sim)
+        elif not telemetry:
+            telemetry = NULL
+        elif telemetry.enabled:
+            # an injected registry now serves this system: bind its clock
+            # (and its tracer's) to this simulator so every timestamp is
+            # in this run's virtual time
+            telemetry.clock = lambda: self.sim.now
+            telemetry.tracer.clock = telemetry.clock
+        self.telemetry: Telemetry = telemetry
+        self.sim.set_telemetry(telemetry)
         self.lan = EthernetSegment(
             self.sim,
             bandwidth_bps=bandwidth_bps,
@@ -83,7 +105,8 @@ class EthernetSpeakerSystem:
             loss_rate=loss_rate,
             seed=seed,
         )
-        self.monitor = BandwidthMonitor(self.sim, self.lan)
+        self.monitor = BandwidthMonitor(self.sim, self.lan,
+                                        telemetry=telemetry)
         self.producers: List[ProducerNode] = []
         self.speakers: List[SpeakerNode] = []
         self.channels: List[ChannelConfig] = []
@@ -149,6 +172,7 @@ class EthernetSpeakerSystem:
         master_path: str = "/dev/vadm",
         **kwargs,
     ) -> Rebroadcaster:
+        kwargs.setdefault("telemetry", self.telemetry)
         rb = Rebroadcaster(
             producer.machine, channel, master_path=master_path, **kwargs
         )
@@ -174,10 +198,12 @@ class EthernetSpeakerSystem:
         machine.attach_network(self.lan, self._next_ip(), vlan=vlan)
         sink = SpeakerSink(name=f"{name}/speaker")
         hw = HardwareAudioDriver(machine, sink, drift_ppm=dac_drift_ppm)
-        device = AudioDevice(machine, hw, block_seconds=block_seconds)
+        device = AudioDevice(machine, hw, block_seconds=block_seconds,
+                             telemetry=self.telemetry)
         machine.register_device("/dev/audio", device)
         if housekeeping:
             machine.start_housekeeping()
+        speaker_kwargs.setdefault("telemetry", self.telemetry)
         speaker = EthernetSpeaker(
             machine, channel.group_ip, channel.port, name=name,
             **speaker_kwargs,
@@ -185,7 +211,8 @@ class EthernetSpeakerSystem:
         if start:
             speaker.start()
         node = SpeakerNode(
-            machine=machine, speaker=speaker, sink=sink, device=device
+            machine=machine, speaker=speaker, sink=sink, device=device,
+            channel=channel,
         )
         self.speakers.append(node)
         return node
@@ -258,6 +285,88 @@ class EthernetSpeakerSystem:
 
     def run(self, until: Optional[float] = None) -> float:
         return self.sim.run(until=until)
+
+    def pipeline_report(self) -> PipelineReport:
+        """The end-to-end telemetry view of this run.
+
+        Latency/jitter percentiles come from the telemetry histograms
+        (empty when telemetry is disabled); the per-channel accounting
+        and conservation check work in either mode, from component
+        stats.  ``in_flight`` counts datagrams still queued in speaker
+        sockets — at quiescence it is zero and conservation reduces to
+        ``sent == received + dropped``.
+        """
+        tel = self.telemetry
+        channels = []
+        for channel in self.channels:
+            rbs = [rb for rb in self.rebroadcasters
+                   if rb.channel is channel]
+            nodes = [n for n in self.speakers if n.channel is channel]
+            if not rbs and not nodes:
+                continue
+            raw = sum(rb.stats.raw_bytes for rb in rbs)
+            sent_bytes = sum(rb.stats.sent_payload_bytes for rb in rbs)
+            suspended = sum(rb.stats.suspended_blocks for rb in rbs)
+            if raw:
+                ratio = sent_bytes / raw
+            else:
+                ratio = 0.0 if suspended else 1.0
+            data_failures = (
+                tel.total(f"rebroadcaster.send_failures[ch{channel.channel_id}]")
+                if tel.enabled
+                else sum(rb.stats.send_failures for rb in rbs)
+            )
+            channels.append(ChannelReport(
+                name=channel.name,
+                channel_id=channel.channel_id,
+                speakers=len(nodes),
+                data_sent=sum(rb.stats.data_sent for rb in rbs),
+                control_sent=sum(rb.stats.control_sent for rb in rbs),
+                send_failures=data_failures,
+                data_received=sum(n.stats.data_rx for n in nodes),
+                played=sum(n.stats.played for n in nodes),
+                late_dropped=sum(n.stats.late_dropped for n in nodes),
+                waiting_dropped=sum(n.stats.waiting_dropped for n in nodes),
+                socket_drops=sum(
+                    n.speaker._sock.drops for n in nodes
+                    if n.speaker._sock is not None
+                ),
+                in_flight=sum(
+                    n.speaker._sock.queued for n in nodes
+                    if n.speaker._sock is not None
+                ),
+                suspended_blocks=suspended,
+                compression_ratio=ratio,
+            ))
+
+        def _snap(name: str) -> dict:
+            hist = tel.histograms.get(name)
+            if hist is None or hist.count == 0:
+                return {}
+            return hist.snapshot()
+
+        return PipelineReport(
+            duration=self.sim.now,
+            latency=_snap("pipeline.e2e_latency"),
+            arrival=_snap("pipeline.arrival_latency"),
+            jitter=_snap("pipeline.jitter"),
+            underruns=sum(n.device.underruns for n in self.speakers),
+            silence_seconds=sum(
+                n.sink.silence_seconds for n in self.speakers
+            ),
+            channels=channels,
+            wire_drops=self.lan.stats.frames_dropped,
+            wire_losses=self.lan.stats.receiver_losses,
+            trace_events=len(tel.tracer.events),
+        )
+
+    def chrome_trace(self) -> dict:
+        """The run's Chrome ``trace_event`` JSON object (see
+        ``chrome://tracing`` / Perfetto)."""
+        return self.telemetry.tracer.to_chrome()
+
+    def write_trace(self, path: str) -> None:
+        self.telemetry.tracer.write(path)
 
     def skew_report(
         self, speakers: Optional[Sequence[SpeakerNode]] = None

@@ -63,12 +63,22 @@ class AudioDevice(CharDevice):
         block_seconds: float = 0.065,
         ring_blocks: int = 8,
         name: str = "audio0",
+        telemetry=None,
     ):
         self.machine = machine
         self.lowlevel = lowlevel
         self.block_seconds = block_seconds
         self.ring_blocks = ring_blocks
         self.name = name
+        if telemetry is None:
+            # imported lazily: repro.metrics pulls in the kernel (vmstat)
+            from repro.metrics.telemetry import get_telemetry
+            telemetry = get_telemetry()
+        self.telemetry = telemetry
+        label = f"{machine.name}/{name}"
+        self._track = label
+        self._c_underruns = telemetry.counter(f"audio.underruns[{label}]")
+        self._c_hiwat = telemetry.counter(f"audio.hiwat_blocks[{label}]")
         self.params = AudioParams()
         self._chunks: deque[bytes] = deque()
         self._level = 0
@@ -106,6 +116,12 @@ class AudioDevice(CharDevice):
         offset = 0
         total = len(data)
         while offset < total:
+            if self._level >= self.hiwat:
+                # high-water: the writer blocks until the ring drains
+                self._c_hiwat.inc()
+                self.telemetry.tracer.instant(
+                    "buffer.hiwat", track=self._track, level=self._level
+                )
             while self._level >= self.hiwat:
                 yield self._space.wait()
             room = self.hiwat - self._level
@@ -167,9 +183,10 @@ class AudioDevice(CharDevice):
         if self._level > 0:
             # a trailing partial block is played as-is (shorter transfer)
             # rather than padded, so one PCM byte in == one PCM byte out
+            prev = self._level
             data = self._pop(min(self.blocksize, self._level))
             self._silent_run = 0
-            self._maybe_wake()
+            self._maybe_wake(prev)
             return data, False
         if self._close_requested or self._silent_run >= self.MAX_SILENT_BLOCKS:
             self.started = False
@@ -177,6 +194,10 @@ class AudioDevice(CharDevice):
             return None
         if self._silent_run == 0:
             self.underruns += 1
+            self._c_underruns.inc()
+            self.telemetry.tracer.instant(
+                "buffer.underrun", track=self._track
+            )
         self.silence_bytes += self.blocksize
         self._silent_run += 1
         return bytes(self.blocksize), True
@@ -201,8 +222,9 @@ class AudioDevice(CharDevice):
         """
         if self._level == 0:
             return None
+        prev = self._level
         data = self._pop(min(self.blocksize, self._level))
-        self._maybe_wake()
+        self._maybe_wake(prev)
         return data
 
     def wait_for_data(self):
@@ -225,8 +247,13 @@ class AudioDevice(CharDevice):
         self._level -= len(data)
         return data
 
-    def _maybe_wake(self) -> None:
+    def _maybe_wake(self, prev_level: int = -1) -> None:
         if self._level <= self.lowat:
+            if prev_level > self.lowat:
+                # low-water crossing: writers are about to wake
+                self.telemetry.tracer.instant(
+                    "buffer.lowat", track=self._track, level=self._level
+                )
             self._space.fire()
         if self._level == 0:
             self._drained.fire()

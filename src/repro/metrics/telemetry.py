@@ -1,0 +1,467 @@
+"""Process-wide but injectable telemetry: counters, gauges, histograms.
+
+The paper's evaluation (§3) argues from quantities you can only get by
+instrumenting the running system — per-hop latency, jitter, buffer levels,
+CPU figures.  This module is that instrumentation layer:
+
+* a :class:`Telemetry` registry holding named :class:`Counter`,
+  :class:`Gauge` and fixed-bucket :class:`Histogram` instruments, plus a
+  :class:`~repro.metrics.trace.Tracer` bound to the same virtual clock;
+* a **disabled mode** (:data:`NULL`) whose instruments are shared no-op
+  singletons, so instrumented hot paths cost one attribute call when
+  telemetry is off and benchmarks stay honest;
+* :class:`PipelineReport`, the derived end-to-end view (latency
+  percentiles, jitter, loss conservation, compression) that
+  :class:`~repro.core.system.EthernetSpeakerSystem` exposes and the
+  benchmarks consume.
+
+Components take a ``telemetry=None`` constructor argument and fall back to
+the process-wide default (:func:`get_telemetry`), which starts as
+:data:`NULL`.  Tests and systems inject their own registry instead of
+mutating the global one; :func:`set_default` exists for whole-process runs
+(CLI tools, notebooks).
+
+Instrument names are dotted paths with an optional ``[label]`` suffix
+(``"rebroadcaster.data_sent[lobby]"``); :meth:`Telemetry.total` sums a
+metric across labels, which is what the conservation checks use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.metrics.report import ascii_table
+from repro.metrics.trace import NULL_TRACER, Tracer
+
+
+def log_buckets(lo: float, hi: float, per_decade: int = 4) -> Tuple[float, ...]:
+    """Geometric histogram bounds from ``lo`` to at least ``hi``.
+
+    Deterministic and cheap; the default latency buckets span 1 µs to
+    10 s with four buckets per decade.
+    """
+    if lo <= 0 or hi <= lo:
+        raise ValueError("need 0 < lo < hi")
+    bounds = []
+    step = 10.0 ** (1.0 / per_decade)
+    edge = lo
+    while edge < hi * (1.0 + 1e-12):
+        bounds.append(edge)
+        edge *= step
+    bounds.append(edge)
+    return tuple(bounds)
+
+
+#: default bounds for time-valued histograms (seconds): 1 µs .. 10 s
+DEFAULT_TIME_BUCKETS = log_buckets(1e-6, 10.0, per_decade=4)
+#: default bounds for size/depth-valued histograms
+DEFAULT_DEPTH_BUCKETS = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384,
+)
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value; remembers its min and max."""
+
+    __slots__ = ("name", "value", "min", "max", "samples")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.samples = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.samples += 1
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def add(self, delta: float) -> None:
+        self.set(self.value + delta)
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated percentiles.
+
+    ``bounds`` are ascending bucket upper edges; one overflow bucket
+    catches everything above the last edge.  Exact min/max/sum are kept
+    alongside the buckets so reports can bracket the interpolation.
+    """
+
+    __slots__ = ("name", "bounds", "buckets", "count", "total", "vmin", "vmax")
+
+    def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_TIME_BUCKETS):
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be ascending and non-empty")
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.vmin = float("inf")
+        self.vmax = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
+        # linear scan: bounds lists are short and mostly hit early; a
+        # bisect would pay more in call overhead at these sizes
+        for i, edge in enumerate(self.bounds):
+            if value <= edge:
+                self.buckets[i] += 1
+                return
+        self.buckets[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Approximate ``p``-th percentile (0..100), interpolated inside
+        the containing bucket and clamped to the exact observed range."""
+        if self.count == 0:
+            return 0.0
+        target = (p / 100.0) * self.count
+        seen = 0
+        lower = 0.0
+        for i, n in enumerate(self.buckets):
+            upper = self.bounds[i] if i < len(self.bounds) else self.vmax
+            if n and seen + n >= target:
+                frac = (target - seen) / n
+                est = lower + (upper - lower) * max(0.0, min(1.0, frac))
+                return max(self.vmin, min(self.vmax, est))
+            seen += n
+            lower = upper
+        return self.vmax
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.vmin if self.count else 0.0,
+            "max": self.vmax if self.count else 0.0,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+# -- the disabled mode ----------------------------------------------------------
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, delta: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter("null")
+_NULL_GAUGE = _NullGauge("null")
+_NULL_HISTOGRAM = _NullHistogram("null", (1.0,))
+
+
+class Telemetry:
+    """The registry.  One per system under test (injectable), or one per
+    process via :func:`set_default`.
+
+    Parameters
+    ----------
+    clock:
+        zero-argument callable returning virtual seconds; usually
+        ``lambda: sim.now`` (or pass ``sim=``).
+    enabled:
+        a disabled registry hands out shared no-op instruments and a
+        disabled tracer; every recording call degrades to a constant-time
+        no-op so hot paths can be instrumented unconditionally.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None,
+                 sim=None, enabled: bool = True):
+        if sim is not None and clock is None:
+            clock = lambda: sim.now  # noqa: E731
+        self.clock = clock or (lambda: 0.0)
+        self.enabled = enabled
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self.tracer = (
+            Tracer(clock=self.clock) if enabled else NULL_TRACER
+        )
+
+    # -- instrument access (get-or-create) ---------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return _NULL_COUNTER
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        if not self.enabled:
+            return _NULL_GAUGE
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str,
+                  bounds: Sequence[float] = DEFAULT_TIME_BUCKETS) -> Histogram:
+        if not self.enabled:
+            return _NULL_HISTOGRAM
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram(name, bounds)
+        return h
+
+    # -- one-shot conveniences ----------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        if self.enabled:
+            self.counter(name).inc(n)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        if self.enabled:
+            self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float,
+                bounds: Sequence[float] = DEFAULT_TIME_BUCKETS) -> None:
+        if self.enabled:
+            self.histogram(name, bounds).observe(value)
+
+    # -- aggregation --------------------------------------------------------------
+
+    def total(self, metric: str) -> int:
+        """Sum a counter across labels: ``total("x.sent")`` adds
+        ``x.sent`` and every ``x.sent[...]``."""
+        prefix = metric + "["
+        return sum(
+            c.value for name, c in self.counters.items()
+            if name == metric or name.startswith(prefix)
+        )
+
+    def snapshot(self) -> dict:
+        return {
+            "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "gauges": {
+                n: {"value": g.value, "min": g.min, "max": g.max}
+                for n, g in sorted(self.gauges.items()) if g.samples
+            },
+            "histograms": {
+                n: h.snapshot() for n, h in sorted(self.histograms.items())
+            },
+        }
+
+    def report(self) -> str:
+        """Everything, as ascii tables (counters, gauges, histograms,
+        span aggregates)."""
+        parts = []
+        if self.counters:
+            parts.append("counters:\n" + ascii_table(
+                ["counter", "value"],
+                [[n, c.value] for n, c in sorted(self.counters.items())],
+            ))
+        live_gauges = [
+            (n, g) for n, g in sorted(self.gauges.items()) if g.samples
+        ]
+        if live_gauges:
+            parts.append("gauges:\n" + ascii_table(
+                ["gauge", "value", "min", "max"],
+                [[n, g.value, g.min, g.max] for n, g in live_gauges],
+            ))
+        if self.histograms:
+            rows = []
+            for n, h in sorted(self.histograms.items()):
+                s = h.snapshot()
+                rows.append([n, s["count"], s["mean"], s["p50"], s["p99"],
+                             s["max"]])
+            parts.append("histograms:\n" + ascii_table(
+                ["histogram", "count", "mean", "p50", "p99", "max"], rows,
+            ))
+        if self.tracer.events:
+            parts.append("spans:\n" + self.tracer.summary())
+        return "\n\n".join(parts) if parts else "(no telemetry recorded)"
+
+
+#: the shared disabled registry; the default everywhere
+NULL = Telemetry(enabled=False)
+
+_default: Telemetry = NULL
+
+
+def get_telemetry() -> Telemetry:
+    """The process-wide default registry (``NULL`` unless overridden)."""
+    return _default
+
+
+def set_default(telemetry: Optional[Telemetry]) -> Telemetry:
+    """Install ``telemetry`` as the process default; ``None`` resets to
+    :data:`NULL`.  Returns the previous default so callers can restore."""
+    global _default
+    previous = _default
+    _default = telemetry if telemetry is not None else NULL
+    return previous
+
+
+# -- the derived end-to-end view ---------------------------------------------------
+
+
+@dataclass
+class ChannelReport:
+    """Per-channel pipeline accounting (one rebroadcaster fan-out)."""
+
+    name: str
+    channel_id: int
+    speakers: int
+    data_sent: int = 0
+    control_sent: int = 0
+    send_failures: int = 0
+    data_received: int = 0
+    played: int = 0
+    late_dropped: int = 0
+    waiting_dropped: int = 0
+    socket_drops: int = 0
+    in_flight: int = 0
+    suspended_blocks: int = 0
+    compression_ratio: float = 1.0
+
+    @property
+    def expected_deliveries(self) -> int:
+        """Data packets times listeners (multicast fan-out)."""
+        return self.data_sent * self.speakers
+
+    @property
+    def conservation_residual(self) -> int:
+        """``sent - (received + dropped + in-flight)`` per §"every packet
+        is somewhere": zero on a lossless LAN, and exactly the wire loss
+        otherwise."""
+        accounted = (
+            self.data_received
+            + self.socket_drops
+            + self.in_flight
+            + self.send_failures * self.speakers
+        )
+        return self.expected_deliveries - accounted
+
+
+@dataclass
+class PipelineReport:
+    """End-to-end numbers for one run: what a perf PR must not regress."""
+
+    duration: float
+    latency: dict = field(default_factory=dict)     # e2e producer->DAC write
+    arrival: dict = field(default_factory=dict)     # producer->speaker rx
+    jitter: dict = field(default_factory=dict)      # |inter-arrival - nominal|
+    underruns: int = 0
+    silence_seconds: float = 0.0
+    channels: List[ChannelReport] = field(default_factory=list)
+    wire_drops: int = 0       # whole frames dropped at the sender (backlog)
+    wire_losses: int = 0      # receiver copies lost to random wire loss
+    trace_events: int = 0
+
+    @property
+    def total_sent(self) -> int:
+        return sum(c.data_sent for c in self.channels)
+
+    @property
+    def total_played(self) -> int:
+        return sum(c.played for c in self.channels)
+
+    @property
+    def conservation_residual(self) -> int:
+        return sum(c.conservation_residual for c in self.channels)
+
+    @property
+    def conservation_ok(self) -> bool:
+        """True when every delivery is accounted for, wire loss included.
+
+        A frame dropped at the sender loses up to fan-out deliveries; a
+        random wire loss loses exactly one receiver copy.  The residual
+        must fit inside what the network admits to having lost."""
+        bound = self.wire_drops * max(
+            (c.speakers for c in self.channels), default=1
+        ) + self.wire_losses
+        return 0 <= self.conservation_residual <= bound
+
+    def summary(self) -> str:
+        """Ascii rendering, built on the :mod:`repro.metrics.report`
+        helpers (the same tables the benchmarks print)."""
+        lat_rows = []
+        for label, snap in (("e2e latency (s)", self.latency),
+                            ("arrival latency (s)", self.arrival),
+                            ("jitter (s)", self.jitter)):
+            if snap:
+                lat_rows.append([
+                    label, snap["count"], snap["mean"], snap["p50"],
+                    snap["p90"], snap["p99"], snap["max"],
+                ])
+        parts = []
+        if lat_rows:
+            parts.append(ascii_table(
+                ["series", "count", "mean", "p50", "p90", "p99", "max"],
+                lat_rows,
+            ))
+        parts.append(ascii_table(
+            ["channel", "sent", "rx", "played", "late", "sockdrop",
+             "inflight", "residual", "ratio"],
+            [
+                [c.name, c.data_sent, c.data_received, c.played,
+                 c.late_dropped, c.socket_drops, c.in_flight,
+                 c.conservation_residual, c.compression_ratio]
+                for c in self.channels
+            ],
+        ))
+        parts.append(ascii_table(
+            ["quantity", "value"],
+            [
+                ["duration (s)", self.duration],
+                ["underruns", self.underruns],
+                ["silence (s)", self.silence_seconds],
+                ["wire drops", self.wire_drops],
+                ["wire losses", self.wire_losses],
+                ["trace events", self.trace_events],
+                ["conservation ok", str(self.conservation_ok)],
+            ],
+        ))
+        return "\n\n".join(parts)

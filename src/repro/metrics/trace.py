@@ -1,0 +1,323 @@
+"""Sim-clock event tracer with Chrome ``trace_event`` export.
+
+Every span and instant is stamped with the *virtual* clock of the
+simulation, so a trace of a run is exactly reproducible: same seed, same
+JSON, byte for byte.  The output loads directly into ``chrome://tracing``
+or Perfetto (the ``traceEvents`` JSON array format); :meth:`Tracer.summary`
+renders the same data as an ascii table for terminals and CI logs.
+
+Spans use explicit tokens (:class:`Span`) rather than a thread-local stack
+because simulation processes interleave at ``yield`` points: process A may
+open a span, yield to process B which opens and closes its own, and close
+afterwards.  Token matching keeps nesting correct under any event order.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.metrics.report import ascii_table
+
+#: microseconds per virtual second (chrome traces use µs timestamps)
+_US = 1e6
+
+
+class Span:
+    """An open span: the token :meth:`Tracer.begin` hands out."""
+
+    __slots__ = ("name", "cat", "track", "start", "args", "closed")
+
+    def __init__(self, name: str, cat: str, track: str, start: float, args):
+        self.name = name
+        self.cat = cat
+        self.track = track
+        self.start = start
+        self.args = args
+        self.closed = False
+
+
+class _NullSpan(Span):
+    """Shared token returned by a disabled tracer (``end`` is a no-op)."""
+
+    def __init__(self):
+        super().__init__("", "", "", 0.0, None)
+        self.closed = True
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Records spans, instants, counters, and flows against a sim clock.
+
+    Parameters
+    ----------
+    clock:
+        zero-argument callable returning the current virtual time in
+        seconds (``lambda: sim.now``).  Defaults to a frozen zero clock.
+    enabled:
+        when ``False`` every recording method returns immediately; the
+        per-call cost is one attribute test.
+    max_events:
+        hard cap on retained events.  Beyond it new events are counted in
+        :attr:`dropped_events` instead of stored, so a runaway trace cannot
+        eat the simulation's memory.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        enabled: bool = True,
+        max_events: int = 200_000,
+        max_open_flows: int = 4096,
+    ):
+        self.clock = clock or (lambda: 0.0)
+        self.enabled = enabled
+        self.max_events = max_events
+        self.max_open_flows = max_open_flows
+        self.events: List[dict] = []
+        self.dropped_events = 0
+        self._tracks: Dict[str, int] = {}
+        self._flows: Dict[Any, Tuple[float, int]] = {}
+        self._next_flow_id = 1
+        #: per-span-name aggregate: name -> [count, total_dur, max_dur]
+        self._agg: Dict[str, List[float]] = {}
+
+    # -- recording ----------------------------------------------------------------
+
+    def begin(self, name: str, track: str = "main", cat: str = "span",
+              **args) -> Span:
+        """Open a span; returns the token to pass to :meth:`end`."""
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(name, cat, track, self.clock(), args or None)
+
+    def end(self, span: Span, **args) -> float:
+        """Close ``span``; emits one complete ('X') event.
+
+        Returns the span duration in seconds.  Ending a span twice (or a
+        null span) is a harmless no-op returning 0.0.
+        """
+        if not self.enabled or span.closed:
+            return 0.0
+        span.closed = True
+        now = self.clock()
+        dur = now - span.start
+        merged = span.args
+        if args:
+            merged = dict(merged or {}, **args)
+        self._emit({
+            "name": span.name,
+            "cat": span.cat,
+            "ph": "X",
+            "ts": span.start * _US,
+            "dur": dur * _US,
+            "pid": 0,
+            "tid": self._tid(span.track),
+            **({"args": merged} if merged else {}),
+        })
+        agg = self._agg.get(span.name)
+        if agg is None:
+            self._agg[span.name] = [1, dur, dur]
+        else:
+            agg[0] += 1
+            agg[1] += dur
+            agg[2] = max(agg[2], dur)
+        return dur
+
+    def complete(self, name: str, start: float, duration: float,
+                 track: str = "main", cat: str = "span", **args) -> None:
+        """Record a complete ('X') event with explicit timing.
+
+        For work whose extent is *computed* rather than executed inline —
+        a store-and-forward switch knows a frame occupies the egress port
+        for [start, start+duration) before the simulator gets there.
+        """
+        if not self.enabled:
+            return
+        self._emit({
+            "name": name,
+            "cat": cat,
+            "ph": "X",
+            "ts": start * _US,
+            "dur": duration * _US,
+            "pid": 0,
+            "tid": self._tid(track),
+            **({"args": args} if args else {}),
+        })
+        agg = self._agg.get(name)
+        if agg is None:
+            self._agg[name] = [1, duration, duration]
+        else:
+            agg[0] += 1
+            agg[1] += duration
+            agg[2] = max(agg[2], duration)
+
+    @contextmanager
+    def span(self, name: str, track: str = "main", cat: str = "span", **args):
+        """Context manager form of :meth:`begin`/:meth:`end`.
+
+        Only for non-yielding code: wrapping a simulation ``yield`` in a
+        ``with`` block would close the span at the wrong virtual time if
+        the process is killed.  Generator code should use the token API.
+        """
+        token = self.begin(name, track=track, cat=cat, **args)
+        try:
+            yield token
+        finally:
+            self.end(token)
+
+    def instant(self, name: str, track: str = "main", cat: str = "instant",
+                **args) -> None:
+        """A zero-duration marker (buffer high-water, drop, resync...)."""
+        if not self.enabled:
+            return
+        self._emit({
+            "name": name,
+            "cat": cat,
+            "ph": "i",
+            "s": "t",
+            "ts": self.clock() * _US,
+            "pid": 0,
+            "tid": self._tid(track),
+            **({"args": args} if args else {}),
+        })
+
+    def counter(self, name: str, track: str = "main", **values) -> None:
+        """A counter ('C') sample; ``values`` become the stacked series."""
+        if not self.enabled:
+            return
+        self._emit({
+            "name": name,
+            "ph": "C",
+            "ts": self.clock() * _US,
+            "pid": 0,
+            "tid": self._tid(track),
+            "args": values,
+        })
+
+    # -- flows (cross-process latency) ---------------------------------------------
+
+    def flow_begin(self, key, name: str, track: str = "main") -> None:
+        """Mark the start of a flow (e.g. a packet leaving the producer).
+
+        ``key`` is any hashable correlation key — ``(channel_id, seq)``
+        for packets.  Open flows are bounded: the oldest is evicted past
+        ``max_open_flows`` (a flood of never-received packets must not
+        grow memory).
+        """
+        if not self.enabled:
+            return
+        if len(self._flows) >= self.max_open_flows:
+            self._flows.pop(next(iter(self._flows)))
+        flow_id = self._next_flow_id
+        self._next_flow_id += 1
+        self._flows[key] = (self.clock(), flow_id)
+        self._emit({
+            "name": name,
+            "cat": "flow",
+            "ph": "s",
+            "id": flow_id,
+            "ts": self.clock() * _US,
+            "pid": 0,
+            "tid": self._tid(track),
+        })
+
+    def flow_end(self, key, name: str, track: str = "main",
+                 pop: bool = False) -> Optional[float]:
+        """Mark a flow's arrival; returns the elapsed seconds since its
+        :meth:`flow_begin`, or ``None`` for an unknown key.
+
+        With ``pop=False`` (the default) the origin stays registered so a
+        multicast flow can terminate at every receiver.
+        """
+        if not self.enabled:
+            return None
+        entry = self._flows.pop(key, None) if pop else self._flows.get(key)
+        if entry is None:
+            return None
+        start, flow_id = entry
+        now = self.clock()
+        self._emit({
+            "name": name,
+            "cat": "flow",
+            "ph": "f",
+            "bp": "e",
+            "id": flow_id,
+            "ts": now * _US,
+            "pid": 0,
+            "tid": self._tid(track),
+        })
+        return now - start
+
+    # -- internals ----------------------------------------------------------------
+
+    def _tid(self, track: str) -> int:
+        tid = self._tracks.get(track)
+        if tid is None:
+            tid = len(self._tracks) + 1
+            self._tracks[track] = tid
+        return tid
+
+    def _emit(self, event: dict) -> None:
+        if len(self.events) >= self.max_events:
+            self.dropped_events += 1
+            return
+        self.events.append(event)
+
+    # -- export -------------------------------------------------------------------
+
+    def to_chrome(self) -> dict:
+        """The full trace as a Chrome ``trace_event`` JSON object."""
+        meta = [
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "args": {"name": track},
+            }
+            for track, tid in self._tracks.items()
+        ]
+        return {
+            "traceEvents": meta + self.events,
+            "displayTimeUnit": "ms",
+            "otherData": {"clock": "simulated", "unit": "us"},
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_chrome(), sort_keys=True)
+
+    def write(self, path: str) -> None:
+        """Write the Chrome trace JSON to ``path``."""
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+
+    def summary_rows(self) -> List[List]:
+        rows = []
+        for name in sorted(self._agg):
+            count, total, peak = self._agg[name]
+            rows.append([
+                name, int(count), total * 1e3,
+                (total / count) * 1e3 if count else 0.0, peak * 1e3,
+            ])
+        return rows
+
+    def summary(self) -> str:
+        """Ascii per-span-name aggregate (count and ms totals)."""
+        return ascii_table(
+            ["span", "count", "total_ms", "mean_ms", "max_ms"],
+            self.summary_rows(),
+        )
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.dropped_events = 0
+        self._flows.clear()
+        self._agg.clear()
+
+
+#: shared disabled tracer, used by :data:`repro.metrics.telemetry.NULL`
+NULL_TRACER = Tracer(enabled=False)

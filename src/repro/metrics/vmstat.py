@@ -3,10 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
-from repro.kernel.machine import Machine
 from repro.sim.process import Process, Sleep
+
+if TYPE_CHECKING:  # import kept out of runtime: the kernel (via the net
+    # package's monitor) imports repro.metrics, and a module-level import
+    # here would close that loop
+    from repro.kernel.machine import Machine
 
 
 @dataclass(frozen=True)

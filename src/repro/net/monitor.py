@@ -5,20 +5,32 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, List, Tuple
 
+from repro.metrics.telemetry import get_telemetry
 from repro.net.segment import Datagram, EthernetSegment
 from repro.sim.core import Simulator
+
+#: how often (in frames) the monitor samples a tracer counter track —
+#: enough resolution for chrome://tracing, bounded event volume
+_TRACE_SAMPLE_FRAMES = 64
 
 
 class BandwidthMonitor:
     """Counts wire bytes per destination (ip, port) flow and in total.
 
     Attach one to a segment to answer the paper's §2.2 question: how many
-    Mbps does a CD-quality rebroadcast cost, raw versus compressed?
+    Mbps does a CD-quality rebroadcast cost, raw versus compressed?  With
+    telemetry enabled it also keeps ``net.frames``/``net.wire_bytes``
+    counters and drops a sampled ``net.throughput`` counter track into the
+    trace so bandwidth is visible on the same timeline as the spans.
     """
 
-    def __init__(self, sim: Simulator, segment: EthernetSegment):
+    def __init__(self, sim: Simulator, segment: EthernetSegment,
+                 telemetry=None):
         self.sim = sim
         self.segment = segment
+        self.telemetry = telemetry if telemetry is not None else get_telemetry()
+        self._c_frames = self.telemetry.counter("net.frames")
+        self._c_wire = self.telemetry.counter("net.wire_bytes")
         self.started_at = sim.now
         self.total_wire_bytes = 0
         self.total_payload_bytes = 0
@@ -32,6 +44,16 @@ class BandwidthMonitor:
         self.total_wire_bytes += dgram.wire_size
         self.total_payload_bytes += len(dgram.payload)
         self.per_flow_bytes[(dgram.dst_ip, dgram.dst_port)] += dgram.wire_size
+        self._c_frames.inc()
+        self._c_wire.inc(dgram.wire_size)
+        if (
+            self.telemetry.enabled
+            and self.frames % _TRACE_SAMPLE_FRAMES == 0
+        ):
+            self.telemetry.tracer.counter(
+                "net.throughput", track="net",
+                wire_mbps=round(self.mbps, 3),
+            )
 
     def reset(self) -> None:
         self.started_at = self.sim.now

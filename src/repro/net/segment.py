@@ -41,6 +41,9 @@ class Datagram:
 class SegmentStats:
     frames_sent: int = 0
     frames_dropped: int = 0
+    #: receiver copies lost to random wire loss — counted per receiver,
+    #: not per frame, so conservation checks can account for every copy
+    receiver_losses: int = 0
     bytes_sent: int = 0
     busy_seconds: float = 0.0
 
@@ -129,6 +132,7 @@ class EthernetSegment:
             if not nic.accepts(dgram):
                 continue
             if self.loss_rate and self._rng.random() < self.loss_rate:
+                self.stats.receiver_losses += 1
                 continue
             delay = done - now + self.latency
             if self.jitter:

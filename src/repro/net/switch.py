@@ -21,6 +21,7 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro.metrics.telemetry import get_telemetry
 from repro.net.addr import is_broadcast, is_multicast
 from repro.net.segment import Datagram
 from repro.sim.core import Simulator
@@ -31,6 +32,8 @@ class SwitchStats:
     frames_switched: int = 0
     frames_flooded: int = 0
     frames_dropped: int = 0
+    #: forwarded copies lost to random wire loss (per receiver port)
+    receiver_losses: int = 0
     bytes_in: int = 0
     per_port_bytes_out: Dict[str, int] = field(default_factory=dict)
 
@@ -54,10 +57,17 @@ class SwitchedSegment:
         max_egress_backlog: int = 200,
         seed: int = 0,
         name: str = "switch0",
+        telemetry=None,
     ):
         if port_bps <= 0:
             raise ValueError("port bandwidth must be positive")
         self.sim = sim
+        self.telemetry = telemetry if telemetry is not None else get_telemetry()
+        tel = self.telemetry
+        self._c_switched = tel.counter(f"switch.frames_switched[{name}]")
+        self._c_flooded = tel.counter(f"switch.frames_flooded[{name}]")
+        self._c_dropped = tel.counter(f"switch.frames_dropped[{name}]")
+        self._c_bytes = tel.counter(f"switch.bytes_in[{name}]")
         self.port_bps = float(port_bps)
         self.latency = latency
         self.jitter = jitter
@@ -94,11 +104,14 @@ class SwitchedSegment:
         in_done = in_start + tx_time
         self._ingress_free[in_port] = in_done
         self.stats.bytes_in += dgram.wire_size
+        self._c_bytes.inc(dgram.wire_size)
 
         receivers = self._select_ports(dgram, sender)
         for tap in self._taps:
             tap(dgram)
 
+        tel = self.telemetry
+        tracer = tel.tracer
         delivered_any = False
         for nic in receivers:
             out_port = id(nic)
@@ -106,15 +119,26 @@ class SwitchedSegment:
             backlog = max(0.0, egress_free - now) / max(tx_time, 1e-12)
             if backlog > self.max_egress_backlog:
                 self.stats.frames_dropped += 1
+                self._c_dropped.inc()
+                tracer.instant("switch.drop", track=f"{self.name}:{nic.name}",
+                               backlog=int(backlog))
                 continue
             out_start = max(in_done, egress_free)
             out_done = out_start + tx_time
             self._egress_free[out_port] = out_done
+            if tel.enabled:
+                # one complete event per forwarded copy: queueing +
+                # serialisation on the egress port (the forward is
+                # scheduled, not executed inline, so timing is explicit)
+                tracer.complete("switch.forward", out_start, tx_time,
+                                track=f"{self.name}:{nic.name}")
+                tel.set_gauge(f"switch.egress_backlog[{self.name}]", backlog)
             self.stats.per_port_bytes_out[nic.name] = (
                 self.stats.per_port_bytes_out.get(nic.name, 0)
                 + dgram.wire_size
             )
             if self.loss_rate and self._rng.random() < self.loss_rate:
+                self.stats.receiver_losses += 1
                 continue
             delay = out_done - now + self.latency
             if self.jitter:
@@ -129,10 +153,12 @@ class SwitchedSegment:
         candidates = [n for n in self._nics if n is not sender]
         if is_broadcast(dgram.dst_ip):
             self.stats.frames_flooded += 1
+            self._c_flooded.inc()
             return [n for n in candidates if n.vlan == dgram.vlan]
         if is_multicast(dgram.dst_ip):
             if self.igmp_snooping:
                 self.stats.frames_switched += 1
+                self._c_switched.inc()
                 return [
                     n for n in candidates
                     if n.vlan == dgram.vlan and (
@@ -140,6 +166,7 @@ class SwitchedSegment:
                     )
                 ]
             self.stats.frames_flooded += 1
+            self._c_flooded.inc()
             return [n for n in candidates if n.vlan == dgram.vlan]
         # unicast: forward only to the owning port (the "MAC table")
         matches = [
@@ -148,9 +175,11 @@ class SwitchedSegment:
         ]
         if matches:
             self.stats.frames_switched += 1
+            self._c_switched.inc()
             return matches
         # unknown destination: flood, like a real switch
         self.stats.frames_flooded += 1
+        self._c_flooded.inc()
         return [n for n in candidates if n.vlan == dgram.vlan]
 
     @property

@@ -18,6 +18,11 @@ class SimError(Exception):
     """Raised for misuse of the simulation core."""
 
 
+#: bucket bounds for queue-depth/cascade histograms (kept here so the
+#: event loop never has to import the metrics package)
+_DEPTH_BOUNDS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384)
+
+
 class Event:
     """A scheduled callback.
 
@@ -60,6 +65,36 @@ class Simulator:
         #: exceptions that escaped processes nobody was waiting on;
         #: re-raised at the end of :meth:`run` so tests cannot miss them.
         self.unhandled: list[BaseException] = []
+        #: attached :class:`repro.metrics.telemetry.Telemetry`, or None.
+        #: Duck-typed on purpose: the metrics package imports the kernel
+        #: (vmstat), so the event loop must not import metrics.
+        self.telemetry = None
+        self._batch_events = 0
+
+    def set_telemetry(self, telemetry) -> None:
+        """Attach a telemetry registry; pass ``None`` (or a disabled
+        registry) to return the loop to its uninstrumented fast path."""
+        if telemetry is not None and not telemetry.enabled:
+            telemetry = None
+        self.telemetry = telemetry
+        self._batch_events = 0
+
+    def _record_step(self, ev: Event) -> None:
+        """Event-loop health: events executed, queue depth, and the depth
+        of zero-delay cascades (events piling up at one instant — the
+        sim-world analogue of scheduling lag)."""
+        tel = self.telemetry
+        tel.count("sim.events")
+        if ev.time == self._now and self._batch_events:
+            self._batch_events += 1
+        else:
+            if self._batch_events > 1:
+                tel.observe("sim.zero_delay_cascade", self._batch_events,
+                            bounds=_DEPTH_BOUNDS)
+            self._batch_events = 1
+        if tel.counters["sim.events"].value % 64 == 0:
+            tel.observe("sim.queue_depth", len(self._heap),
+                        bounds=_DEPTH_BOUNDS)
 
     @property
     def now(self) -> float:
@@ -96,6 +131,8 @@ class Simulator:
             ev = heapq.heappop(self._heap)
             if ev.cancelled:
                 continue
+            if self.telemetry is not None:
+                self._record_step(ev)
             self._now = ev.time
             ev.fn(*ev.args)
             return True

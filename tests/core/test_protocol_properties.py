@@ -1,0 +1,192 @@
+"""Adversarial wire-format properties: the parser's only failure mode.
+
+The contract under test: for *any* byte string, ``parse_packet`` either
+returns a valid packet or raises :class:`ProtocolError`.  It must never
+leak ``struct.error``, ``IndexError``, or ``UnicodeDecodeError`` — those
+are implementation details a malformed datagram on the wire (§2.3) must
+not be able to surface.
+"""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.audio import AudioEncoding, AudioParams
+from repro.codec import CodecID
+from repro.core.protocol import (
+    _COMMON,
+    _DATA,
+    AnnounceEntry,
+    AnnouncePacket,
+    ControlPacket,
+    DataPacket,
+    Packet,
+    ProtocolError,
+    parse_packet,
+)
+
+# -- strategies --------------------------------------------------------------
+
+# names are kept under 255 *encoded* bytes so encode() does not truncate
+# them and round-trip equality is exact
+_names = st.text(max_size=60).filter(lambda s: len(s.encode("utf-8")) <= 255)
+
+_params = st.builds(
+    AudioParams,
+    encoding=st.sampled_from(list(AudioEncoding)),
+    sample_rate=st.sampled_from([8000, 16000, 22050, 44100, 48000]),
+    channels=st.sampled_from([1, 2]),
+)
+
+_floats = st.floats(min_value=0, max_value=1e9, allow_nan=False,
+                    allow_infinity=False)
+
+_control_packets = st.builds(
+    ControlPacket,
+    channel_id=st.integers(min_value=0, max_value=65535),
+    seq=st.integers(min_value=0, max_value=2**32 - 1),
+    wall_clock=_floats,
+    stream_pos=_floats,
+    params=_params,
+    codec_id=st.sampled_from(list(CodecID)),
+    quality=st.integers(min_value=0, max_value=10),
+    name=_names,
+)
+
+_data_packets = st.builds(
+    DataPacket,
+    channel_id=st.integers(min_value=0, max_value=65535),
+    seq=st.integers(min_value=0, max_value=2**32 - 1),
+    play_at=_floats,
+    payload=st.binary(max_size=1400),
+    codec_id=st.sampled_from(list(CodecID)),
+    synthetic=st.booleans(),
+    pcm_bytes=st.integers(min_value=0, max_value=2**32 - 1),
+)
+
+_announce_entries = st.builds(
+    AnnounceEntry,
+    channel_id=st.integers(min_value=0, max_value=65535),
+    group_ip=st.tuples(*[st.integers(0, 255)] * 4).map(
+        lambda t: ".".join(str(b) for b in t)
+    ),
+    port=st.integers(min_value=0, max_value=65535),
+    codec_id=st.sampled_from(list(CodecID)),
+    name=_names,
+)
+
+_announce_packets = st.builds(
+    AnnouncePacket,
+    seq=st.integers(min_value=0, max_value=2**32 - 1),
+    entries=st.lists(_announce_entries, max_size=8).map(tuple),
+)
+
+_any_packet = st.one_of(_control_packets, _data_packets, _announce_packets)
+
+
+def _parse_or_protocol_error(data: bytes):
+    """The universal contract: a packet or ProtocolError, nothing else."""
+    try:
+        return parse_packet(data)
+    except ProtocolError:
+        return None
+    except (struct.error, IndexError, UnicodeDecodeError) as err:
+        pytest.fail(f"parser leaked {type(err).__name__}: {err!r}")
+
+
+# -- round trips -------------------------------------------------------------
+
+
+@settings(max_examples=200, deadline=None)
+@given(_any_packet)
+def test_any_packet_round_trips(pkt: Packet):
+    assert parse_packet(pkt.encode()) == pkt
+
+
+@settings(max_examples=100, deadline=None)
+@given(_control_packets)
+def test_control_round_trip_preserves_params(pkt: ControlPacket):
+    out = parse_packet(pkt.encode())
+    assert out.params == pkt.params
+    assert out.codec_id is pkt.codec_id
+
+
+# -- truncation --------------------------------------------------------------
+
+
+@settings(max_examples=100, deadline=None)
+@given(_control_packets, st.data())
+def test_truncated_control_always_rejected(pkt: ControlPacket, data):
+    wire = pkt.encode()
+    cut = data.draw(st.integers(min_value=0, max_value=len(wire) - 1))
+    with pytest.raises(ProtocolError):
+        parse_packet(wire[:cut])
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    _announce_packets.filter(lambda p: p.entries), st.data()
+)
+def test_truncated_announce_always_rejected(pkt: AnnouncePacket, data):
+    wire = pkt.encode()
+    cut = data.draw(st.integers(min_value=0, max_value=len(wire) - 1))
+    # every byte of an announce is promised by the count byte and the
+    # per-entry name lengths, so removing any suffix must be detected
+    with pytest.raises(ProtocolError):
+        parse_packet(wire[:cut])
+
+
+@settings(max_examples=100, deadline=None)
+@given(_data_packets, st.data())
+def test_truncated_data_rejected_or_valid(pkt: DataPacket, data):
+    """Data payloads carry no length field (the UDP datagram *is* the
+    frame), so truncation inside the payload is indistinguishable from a
+    shorter block — but truncation into the header must raise."""
+    wire = pkt.encode()
+    cut = data.draw(st.integers(min_value=0, max_value=len(wire) - 1))
+    if cut < _COMMON.size + _DATA.size:
+        with pytest.raises(ProtocolError):
+            parse_packet(wire[:cut])
+    else:
+        out = parse_packet(wire[:cut])
+        assert isinstance(out, DataPacket)
+        assert out.payload == pkt.payload[: cut - _COMMON.size - _DATA.size]
+
+
+def test_control_with_trailing_junk_rejected():
+    wire = ControlPacket(
+        1, 1, 0.0, 0.0, AudioParams(), CodecID.RAW, 10, "name"
+    ).encode()
+    with pytest.raises(ProtocolError):
+        parse_packet(wire + b"\x00")
+
+
+# -- corruption --------------------------------------------------------------
+
+
+@settings(max_examples=300, deadline=None)
+@given(_any_packet, st.data())
+def test_single_bit_flip_never_leaks(pkt: Packet, data):
+    wire = bytearray(pkt.encode())
+    pos = data.draw(st.integers(min_value=0, max_value=len(wire) - 1))
+    bit = data.draw(st.integers(min_value=0, max_value=7))
+    wire[pos] ^= 1 << bit
+    _parse_or_protocol_error(bytes(wire))
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.binary(max_size=200))
+def test_random_bytes_never_leak(blob: bytes):
+    _parse_or_protocol_error(blob)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.binary(min_size=_COMMON.size, max_size=300), st.data())
+def test_valid_header_random_body_never_leaks(body: bytes, data):
+    """Worst case for the sub-parsers: a well-formed common header so the
+    type dispatch succeeds, followed by arbitrary bytes."""
+    ptype = data.draw(st.integers(min_value=0, max_value=255))
+    header = _COMMON.pack(0xE55A, 1, ptype, 1, 1)
+    _parse_or_protocol_error(header + body)

@@ -1,0 +1,259 @@
+"""Tracer unit tests: token nesting, determinism, Chrome-trace schema."""
+
+import json
+
+import pytest
+
+from repro.metrics.trace import NULL_SPAN, NULL_TRACER, Tracer
+
+
+class ManualClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture()
+def clocked():
+    clock = ManualClock()
+    return clock, Tracer(clock=clock)
+
+
+# -- spans and tokens --------------------------------------------------------
+
+
+def test_span_records_duration(clocked):
+    clock, tr = clocked
+    tok = tr.begin("work", track="cpu0")
+    clock.now = 0.25
+    assert tr.end(tok) == pytest.approx(0.25)
+    (ev,) = tr.events
+    assert ev["ph"] == "X"
+    assert ev["ts"] == 0.0
+    assert ev["dur"] == pytest.approx(0.25e6)  # microseconds
+
+
+def test_out_of_order_interleaved_spans(clocked):
+    """Process A opens, yields to B which opens/closes, then A closes —
+    the token API must attribute durations to the right span even though
+    the close order is not LIFO."""
+    clock, tr = clocked
+    a = tr.begin("a", track="procA")
+    clock.now = 1.0
+    b = tr.begin("b", track="procB")
+    clock.now = 2.0
+    c = tr.begin("c", track="procA")
+    clock.now = 3.0
+    assert tr.end(a) == pytest.approx(3.0)  # closed before b, started first
+    clock.now = 4.0
+    assert tr.end(c) == pytest.approx(2.0)
+    clock.now = 10.0
+    assert tr.end(b) == pytest.approx(9.0)
+    by_name = {e["name"]: e for e in tr.events}
+    assert by_name["a"]["ts"] == 0.0 and by_name["a"]["dur"] == 3.0e6
+    assert by_name["b"]["ts"] == 1.0e6 and by_name["b"]["dur"] == 9.0e6
+    assert by_name["c"]["ts"] == 2.0e6 and by_name["c"]["dur"] == 2.0e6
+
+
+def test_double_end_is_noop(clocked):
+    clock, tr = clocked
+    tok = tr.begin("once")
+    clock.now = 1.0
+    tr.end(tok)
+    clock.now = 2.0
+    assert tr.end(tok) == 0.0
+    assert len(tr.events) == 1
+
+
+def test_end_merges_args(clocked):
+    clock, tr = clocked
+    tok = tr.begin("enc", blocks=1)
+    clock.now = 0.1
+    tr.end(tok, wire_bytes=42)
+    assert tr.events[0]["args"] == {"blocks": 1, "wire_bytes": 42}
+
+
+def test_span_context_manager(clocked):
+    clock, tr = clocked
+    with tr.span("cm"):
+        clock.now = 0.5
+    assert tr.events[0]["dur"] == pytest.approx(0.5e6)
+
+
+def test_complete_uses_explicit_timing(clocked):
+    _, tr = clocked
+    tr.complete("fwd", start=2.0, duration=0.5, track="sw:p1")
+    (ev,) = tr.events
+    assert ev["ts"] == pytest.approx(2.0e6)
+    assert ev["dur"] == pytest.approx(0.5e6)
+
+
+def test_summary_aggregates_per_name(clocked):
+    clock, tr = clocked
+    for dur in (0.1, 0.3):
+        tok = tr.begin("step")
+        clock.now += dur
+        tr.end(tok)
+    rows = tr.summary_rows()
+    (row,) = rows
+    name, count, total_ms, mean_ms, max_ms = row
+    assert name == "step"
+    assert count == 2
+    assert total_ms == pytest.approx(400.0)
+    assert mean_ms == pytest.approx(200.0)
+    assert max_ms == pytest.approx(300.0)
+    assert "step" in tr.summary()
+
+
+# -- instants, counters, flows ----------------------------------------------
+
+
+def test_instant_and_counter_events(clocked):
+    clock, tr = clocked
+    clock.now = 1.5
+    tr.instant("hiwat", track="dev", level=8)
+    tr.counter("net", track="net", mbps=1.3)
+    inst, ctr = tr.events
+    assert inst["ph"] == "i" and inst["args"] == {"level": 8}
+    assert ctr["ph"] == "C" and ctr["args"] == {"mbps": 1.3}
+    assert inst["ts"] == ctr["ts"] == pytest.approx(1.5e6)
+
+
+def test_flow_measures_elapsed(clocked):
+    clock, tr = clocked
+    tr.flow_begin(("ch", 1), "flight", track="tx")
+    clock.now = 0.02
+    assert tr.flow_end(("ch", 1), "flight", track="rx") == pytest.approx(0.02)
+
+
+def test_flow_fanout_without_pop(clocked):
+    clock, tr = clocked
+    tr.flow_begin(("ch", 1), "flight")
+    clock.now = 0.01
+    assert tr.flow_end(("ch", 1), "flight") == pytest.approx(0.01)
+    clock.now = 0.03
+    # multicast: a second receiver terminates the same flow
+    assert tr.flow_end(("ch", 1), "flight") == pytest.approx(0.03)
+
+
+def test_flow_pop_consumes_key(clocked):
+    clock, tr = clocked
+    tr.flow_begin("k", "f")
+    assert tr.flow_end("k", "f", pop=True) == 0.0
+    assert tr.flow_end("k", "f") is None
+
+
+def test_unknown_flow_returns_none(clocked):
+    _, tr = clocked
+    assert tr.flow_end("nope", "f") is None
+    assert tr.events == []
+
+
+def test_open_flows_bounded():
+    tr = Tracer(max_open_flows=4)
+    for i in range(10):
+        tr.flow_begin(i, "f")
+    assert len(tr._flows) == 4
+    assert tr.flow_end(0, "f") is None  # oldest evicted
+    assert tr.flow_end(9, "f") is not None
+
+
+def test_event_cap_counts_drops():
+    tr = Tracer(max_events=3)
+    for i in range(10):
+        tr.instant(f"e{i}")
+    assert len(tr.events) == 3
+    assert tr.dropped_events == 7
+
+
+# -- determinism -------------------------------------------------------------
+
+
+def _scripted_run() -> Tracer:
+    clock = ManualClock()
+    tr = Tracer(clock=clock)
+    tok = tr.begin("encode", track="rb", blocks=2)
+    clock.now = 0.011
+    tr.end(tok, wire_bytes=880)
+    tr.flow_begin((1, 0), "packet.flight", track="rb")
+    clock.now = 0.013
+    tr.flow_end((1, 0), "packet.flight", track="es1")
+    tr.instant("buffer.hiwat", track="es1/dev")
+    tr.counter("net", track="net", mbps=0.5)
+    return tr
+
+
+def test_same_script_same_bytes():
+    """Two runs of the same simulated schedule export byte-identical
+    JSON — virtual clocks make traces reproducible artifacts."""
+    assert _scripted_run().to_json() == _scripted_run().to_json()
+
+
+def test_track_tids_assigned_in_first_use_order():
+    tr = _scripted_run()
+    assert tr._tracks == {"rb": 1, "es1": 2, "es1/dev": 3, "net": 4}
+
+
+# -- Chrome trace schema -----------------------------------------------------
+
+_REQUIRED_BY_PH = {
+    "X": {"name", "ts", "dur", "pid", "tid"},
+    "i": {"name", "ts", "s", "pid", "tid"},
+    "C": {"name", "ts", "pid", "tid", "args"},
+    "s": {"name", "ts", "id", "pid", "tid"},
+    "f": {"name", "ts", "id", "bp", "pid", "tid"},
+    "M": {"name", "ph", "pid", "args"},
+}
+
+
+def test_chrome_trace_schema():
+    doc = json.loads(_scripted_run().to_json())
+    assert doc["displayTimeUnit"] == "ms"
+    events = doc["traceEvents"]
+    assert isinstance(events, list) and events
+    phs = {e["ph"] for e in events}
+    assert {"X", "i", "C", "s", "f", "M"} <= phs
+    for ev in events:
+        required = _REQUIRED_BY_PH[ev["ph"]]
+        missing = required - set(ev)
+        assert not missing, f"{ev['ph']} event missing {missing}: {ev}"
+        if "ts" in ev:
+            assert isinstance(ev["ts"], (int, float)) and ev["ts"] >= 0
+    # metadata names every tid used by real events
+    named_tids = {e["tid"] for e in events if e["ph"] == "M"}
+    used_tids = {e["tid"] for e in events if e["ph"] != "M"}
+    assert used_tids <= named_tids
+
+
+def test_write_round_trips(tmp_path):
+    tr = _scripted_run()
+    path = tmp_path / "trace.json"
+    tr.write(str(path))
+    assert json.loads(path.read_text()) == tr.to_chrome()
+
+
+def test_clear_resets(clocked):
+    clock, tr = clocked
+    tok = tr.begin("x")
+    clock.now = 1.0
+    tr.end(tok)
+    tr.flow_begin("k", "f")
+    tr.clear()
+    assert tr.events == [] and tr._flows == {} and tr.summary_rows() == []
+
+
+# -- disabled tracer ---------------------------------------------------------
+
+
+def test_null_tracer_records_nothing():
+    tok = NULL_TRACER.begin("x")
+    assert tok is NULL_SPAN
+    assert NULL_TRACER.end(tok) == 0.0
+    NULL_TRACER.instant("i")
+    NULL_TRACER.counter("c", v=1)
+    NULL_TRACER.flow_begin("k", "f")
+    assert NULL_TRACER.flow_end("k", "f") is None
+    NULL_TRACER.complete("x", 0.0, 1.0)
+    assert NULL_TRACER.events == []
