@@ -17,8 +17,9 @@ number of speakers can tune in or out without anyone's cooperation.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Deque, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -47,6 +48,10 @@ class SpeakerStats:
     waiting_dropped: int = 0  # data before the first control packet
     seq_gaps: int = 0
     concealed: int = 0
+    dup_dropped: int = 0      # exact re-delivery of a block already seen
+    reorder_dropped: int = 0  # arrived behind a newer block (stale seq)
+    decode_failed: int = 0    # undecodable payload (corruption in flight)
+    resyncs: int = 0          # control-packet re-anchors (§3.2 large shift)
     garbage_rx: int = 0
     auth_rejected: int = 0
     first_play_time: Optional[float] = None
@@ -81,6 +86,7 @@ class EthernetSpeaker:
         epsilon: float = 0.020,
         playout_delay: float = 0.400,
         resync_threshold: float = 0.250,
+        resync_confirm_window: float = 1.0,
         rx_buffer_packets: int = 64,
         audio_path: str = "/dev/audio",
         verifier=None,
@@ -96,6 +102,11 @@ class EthernetSpeaker:
         self.epsilon = epsilon
         self.playout_delay = playout_delay
         self.resync_threshold = resync_threshold
+        #: shifts up to this size could be a single control packet delayed
+        #: on the wire, so they must be confirmed by a second control
+        #: before re-anchoring; larger shifts (pause, producer restart)
+        #: cannot be network delay and re-anchor immediately
+        self.resync_confirm_window = resync_confirm_window
         self.rx_buffer_packets = rx_buffer_packets
         self.audio_path = audio_path
         self.verifier = verifier
@@ -121,6 +132,10 @@ class EthernetSpeaker:
         self._c_waiting = tel.counter(f"speaker.waiting_dropped[{label}]")
         self._c_gaps = tel.counter(f"speaker.seq_gaps[{label}]")
         self._c_garbage = tel.counter(f"speaker.garbage_rx[{label}]")
+        self._c_dup = tel.counter(f"speaker.dup_dropped[{label}]")
+        self._c_reorder = tel.counter(f"speaker.reorder_dropped[{label}]")
+        self._c_decode_failed = tel.counter(f"speaker.decode_failed[{label}]")
+        self._c_resyncs = tel.counter(f"speaker.resyncs[{label}]")
         self._last_arrival: Optional[float] = None
         self._last_block_seconds = 0.0
         self._proc: Optional[Process] = None
@@ -129,9 +144,22 @@ class EthernetSpeaker:
         self._decoder_key = None
         # sync anchor: (local time, stream position) from a control packet
         self._anchor: Optional[Tuple[float, float]] = None
+        #: a lone out-of-schedule control packet is held here instead of
+        #: re-anchoring: one delayed/reordered control must not reset the
+        #: stream, but two consecutive ones agreeing on a new schedule
+        #: (producer restart, long pause) confirm a real shift
+        self._resync_candidate: Optional[Tuple[float, float]] = None
         self._playing_started = False
         self._last_seq: Optional[int] = None
+        #: recently accepted sequence numbers, to tell an exact duplicate
+        #: from a reordered block that is merely behind the playout point
+        self._recent_seqs: Set[int] = set()
+        self._recent_order: Deque[int] = deque()
         self._bytes_written = 0
+        #: PCM bytes written in *earlier* tuning sessions: keeps the
+        #: stream-offset -> device-byte mapping absolute across retunes
+        #: while _bytes_written itself is per-session
+        self._write_base = 0
         self._sock = None
 
     @property
@@ -149,16 +177,46 @@ class EthernetSpeaker:
             self._proc.kill()
 
     def retune(self, group_ip: str, port: int) -> None:
-        """Switch channels (§5.3): leave the group, reset sync state."""
+        """Switch channels (§5.3): leave the group, reset sync state.
+
+        Everything per-stream is forgotten — sequence and concealment
+        state, the decoder, the audio configuration, the first-block
+        playout gate — so nothing from the old channel can leak into the
+        new one.  ``_bytes_written`` restarts at zero for the new
+        session; ``_write_base`` keeps the device-byte mapping absolute.
+        """
         if self._sock is not None:
             self.machine.net.nic.leave_group(self.group_ip)
         self.group_ip = group_ip
         self.port = port
         self._anchor = None
-        self._last_seq = None
+        self._params = None
+        self._playing_started = False
+        self._decoder = None
+        self._decoder_key = None
+        self._write_base += self._bytes_written
+        self._bytes_written = 0
+        self._reset_stream_state()
         if self._proc is not None:
             self._proc.kill()
             self.start()
+
+    def _reset_stream_state(self) -> None:
+        """Forget per-stream sequencing and concealment context.
+
+        Called on retune and on a control-packet re-anchor: after either,
+        the next data packet opens a fresh sequence space (a restarted
+        producer goes back to seq 1), so comparing against the old
+        ``_last_seq`` would misclassify the whole new stream as stale,
+        and the old ``_last_pcm`` would conceal with unrelated audio.
+        """
+        self._last_seq = None
+        self._last_pcm = None
+        self._resync_candidate = None
+        self._recent_seqs.clear()
+        self._recent_order.clear()
+        self._last_arrival = None
+        self._last_block_seconds = 0.0
 
     # -- the receive loop -----------------------------------------------------------
 
@@ -211,9 +269,35 @@ class EthernetSpeaker:
             # are jitter and are ignored; a large shift means the stream
             # paused, restarted, or we fell badly behind — re-anchor.
             predicted = self._anchor[0] + (packet.stream_pos - self._anchor[1])
-            if abs(now - predicted) > self.resync_threshold:
+            shift = abs(now - predicted)
+            confirmed = self._resync_candidate is not None and abs(
+                now
+                - (self._resync_candidate[0]
+                   + (packet.stream_pos - self._resync_candidate[1]))
+            ) <= self.resync_threshold
+            if shift <= self.resync_threshold:
+                self._resync_candidate = None
+            elif shift > self.resync_confirm_window or confirmed:
+                # re-anchor: either the shift is too large to be a packet
+                # delayed on the wire (producer restart, long pause), or
+                # two consecutive controls agreed on the new schedule
                 self._anchor = (now, packet.stream_pos)
                 self._playing_started = False
+                # a re-anchor means a different stream schedule: sequence
+                # and concealment state from the old one is meaningless now
+                self._reset_stream_state()
+                self.stats.resyncs += 1
+                self._c_resyncs.inc()
+                self.telemetry.tracer.instant(
+                    "speaker.resync", track=self.name, shift=shift,
+                )
+            else:
+                # moderately out of schedule, unconfirmed: a control packet
+                # that was merely delayed or reordered on the wire looks
+                # exactly like this, and re-anchoring on it would reset the
+                # stream (and unleash held-back stale data).  Park it; the
+                # next control either clears it or confirms the shift.
+                self._resync_candidate = (now, packet.stream_pos)
 
     def _handle_data(self, fd, packet: DataPacket):
         machine = self.machine
@@ -244,32 +328,51 @@ class EthernetSpeaker:
             self.stats.waiting_dropped += 1
             self._c_waiting.inc()
             return
+        # -- seq-aware playout: play monotonically, drop what the wire
+        #    duplicated or delivered behind the playout point ------------------
         gap = 0
-        if self._last_seq is not None and packet.seq > self._last_seq + 1:
-            gap = packet.seq - self._last_seq - 1
-            self.stats.seq_gaps += gap
-            self._c_gaps.inc(gap)
-            tel.tracer.instant("speaker.gap", track=self.name, missing=gap)
-        self._last_seq = max(self._last_seq or 0, packet.seq)
+        if self._last_seq is not None:
+            if packet.seq <= self._last_seq:
+                if packet.seq in self._recent_seqs:
+                    # exact re-delivery of a block we already processed
+                    self.stats.dup_dropped += 1
+                    self._c_dup.inc()
+                    tel.tracer.instant("speaker.dup_drop", track=self.name,
+                                       seq=packet.seq)
+                else:
+                    # reordered arrival: playout has moved past it (the
+                    # gap it left was already counted, and concealed if
+                    # concealment is on)
+                    self.stats.reorder_dropped += 1
+                    self._c_reorder.inc()
+                    tel.tracer.instant("speaker.reorder_drop",
+                                       track=self.name, seq=packet.seq)
+                return
+            if packet.seq > self._last_seq + 1:
+                gap = packet.seq - self._last_seq - 1
+                self.stats.seq_gaps += gap
+                self._c_gaps.inc(gap)
+                tel.tracer.instant("speaker.gap", track=self.name,
+                                   missing=gap)
+        self._last_seq = packet.seq
+        self._remember_seq(packet.seq)
 
         decode_span = tel.tracer.begin("speaker.decode", track=self.name)
-        pcm = yield from self._decode(packet)
-        tel.tracer.end(decode_span)
-
-        if (
-            self.conceal_losses
-            and gap
-            and self._last_pcm is not None
-            and self._playing_started
-        ):
-            # repeat the previous block across the hole (capped: a long
-            # outage should fade out, not stutter forever)
-            for _ in range(min(gap, 3)):
-                self._bytes_written += len(self._last_pcm)
-                yield from machine.sys_write(fd, self._last_pcm)
-                self.stats.concealed += 1
-                tel.count(f"speaker.concealed[{self.name}]")
-        self._last_pcm = pcm
+        try:
+            pcm = yield from self._decode(packet)
+        except ProcessKilled:
+            raise
+        except Exception:
+            # §3.2's "throw the data away", extended to data that cannot
+            # be decoded: a payload corrupted in flight must not take the
+            # whole speaker down
+            self.stats.decode_failed += 1
+            self._c_decode_failed.inc()
+            tel.tracer.instant("speaker.decode_failed", track=self.name,
+                               seq=packet.seq)
+            return
+        finally:
+            tel.tracer.end(decode_span)
 
         anchor_time, anchor_pos = self._anchor
         deadline = anchor_time + (packet.play_at - anchor_pos) + self.playout_delay
@@ -282,16 +385,33 @@ class EthernetSpeaker:
             # From then on the device's own DMA pacing holds the schedule.
             if now < deadline:
                 yield Sleep(deadline - now)
+                now = machine.sim.now
             self._playing_started = True
         if now - deadline > self.epsilon:
-            # §3.2: too late -> throw the data away
+            # §3.2: too late -> throw the data away.  The block still
+            # becomes the concealment context: it is the newest audio we
+            # have, even if it missed its slot.
             self.stats.late_dropped += 1
             self._c_late.inc()
             tel.tracer.instant("speaker.late_drop", track=self.name,
                                seq=packet.seq, late_by=now - deadline)
+            self._last_pcm = pcm
             return
+        if self.conceal_losses and gap and self._last_pcm is not None:
+            # repeat the previous block across the hole (capped: a long
+            # outage should fade out, not stutter forever).  This runs
+            # only once the block itself has earned its playout slot — a
+            # late-dropped block must not smear repeats at the wrong time.
+            for _ in range(min(gap, 3)):
+                self._bytes_written += len(self._last_pcm)
+                yield from machine.sys_write(fd, self._last_pcm)
+                self.stats.concealed += 1
+                tel.count(f"speaker.concealed[{self.name}]")
+        self._last_pcm = pcm
         self.stats.play_log.append((packet.play_at, machine.sim.now))
-        self.stats.write_offsets.append((packet.play_at, self._bytes_written))
+        self.stats.write_offsets.append(
+            (packet.play_at, self._write_base + self._bytes_written)
+        )
         if self.stats.first_play_time is None:
             self.stats.first_play_time = machine.sim.now
         self._bytes_written += len(pcm)
@@ -305,6 +425,17 @@ class EthernetSpeaker:
                         flight + (machine.sim.now - arrived))
         tel.set_gauge(f"speaker.rx_queue[{self.name}]",
                       self._sock.queued if self._sock else 0)
+
+    #: how many accepted sequence numbers to keep for duplicate detection
+    #: (far wider than any plausible wire reorder window; bounded so a
+    #: long-running speaker's memory stays flat)
+    RECENT_SEQ_WINDOW = 128
+
+    def _remember_seq(self, seq: int) -> None:
+        self._recent_seqs.add(seq)
+        self._recent_order.append(seq)
+        if len(self._recent_order) > self.RECENT_SEQ_WINDOW:
+            self._recent_seqs.discard(self._recent_order.popleft())
 
     def _decode(self, packet: DataPacket):
         """Payload -> PCM bytes in the device's configured format."""

@@ -45,6 +45,7 @@ from repro.metrics.telemetry import (
     PipelineReport,
     Telemetry,
 )
+from repro.net.faults import FaultInjector
 from repro.net.monitor import BandwidthMonitor
 from repro.net.segment import EthernetSegment
 from repro.sim.core import Simulator
@@ -111,6 +112,7 @@ class EthernetSpeakerSystem:
         self.speakers: List[SpeakerNode] = []
         self.channels: List[ChannelConfig] = []
         self.rebroadcasters: List[Rebroadcaster] = []
+        self.fault_injectors: List[FaultInjector] = []
         self._next_host = 1
         self._next_channel = 1
         self._next_vad = 0
@@ -216,6 +218,26 @@ class EthernetSpeakerSystem:
         )
         self.speakers.append(node)
         return node
+
+    def inject_faults(self, link=None, name: str = "", **fault_kwargs
+                      ) -> FaultInjector:
+        """Attach a :class:`~repro.net.faults.FaultInjector` to a link
+        (the system LAN by default) and register it for reporting.
+
+        Keyword arguments are the injector's knobs — ``loss_rate``,
+        ``burst_length``, ``duplicate_rate``, ``reorder_rate``,
+        ``reorder_window``, ``corrupt_rate``, ``jitter``, ``seed`` —
+        all seeded and itemised in :meth:`pipeline_report`.
+        """
+        fault_kwargs.setdefault("telemetry", self.telemetry)
+        injector = FaultInjector(
+            self.sim,
+            name=name or f"faults{len(self.fault_injectors)}",
+            **fault_kwargs,
+        )
+        injector.attach(link if link is not None else self.lan)
+        self.fault_injectors.append(injector)
+        return injector
 
     # -- sources ------------------------------------------------------------------
 
@@ -327,6 +349,11 @@ class EthernetSpeakerSystem:
                 played=sum(n.stats.played for n in nodes),
                 late_dropped=sum(n.stats.late_dropped for n in nodes),
                 waiting_dropped=sum(n.stats.waiting_dropped for n in nodes),
+                dup_dropped=sum(n.stats.dup_dropped for n in nodes),
+                reorder_dropped=sum(
+                    n.stats.reorder_dropped for n in nodes
+                ),
+                decode_failed=sum(n.stats.decode_failed for n in nodes),
                 socket_drops=sum(
                     n.speaker._sock.drops for n in nodes
                     if n.speaker._sock is not None
@@ -357,6 +384,21 @@ class EthernetSpeakerSystem:
             channels=channels,
             wire_drops=self.lan.stats.frames_dropped,
             wire_losses=self.lan.stats.receiver_losses,
+            injected_losses=sum(
+                f.stats.lost for f in self.fault_injectors
+            ),
+            injected_duplicates=sum(
+                f.stats.duplicated for f in self.fault_injectors
+            ),
+            injected_reordered=sum(
+                f.stats.reordered for f in self.fault_injectors
+            ),
+            injected_corrupted=sum(
+                f.stats.corrupted for f in self.fault_injectors
+            ),
+            injected_pending=sum(
+                f.pending for f in self.fault_injectors
+            ),
             trace_events=len(tel.tracer.events),
         )
 

@@ -361,6 +361,10 @@ class ChannelReport:
     played: int = 0
     late_dropped: int = 0
     waiting_dropped: int = 0
+    #: receive-side playout filtering (all included in data_received)
+    dup_dropped: int = 0
+    reorder_dropped: int = 0
+    decode_failed: int = 0
     socket_drops: int = 0
     in_flight: int = 0
     suspended_blocks: int = 0
@@ -398,6 +402,13 @@ class PipelineReport:
     channels: List[ChannelReport] = field(default_factory=list)
     wire_drops: int = 0       # whole frames dropped at the sender (backlog)
     wire_losses: int = 0      # receiver copies lost to random wire loss
+    #: itemised injected faults (repro.net.faults.FaultInjector), summed
+    #: over every injector attached to the system's links
+    injected_losses: int = 0      # copies the injector killed
+    injected_duplicates: int = 0  # extra copies the injector minted
+    injected_reordered: int = 0   # copies held back past later traffic
+    injected_corrupted: int = 0   # copies with a flipped payload byte
+    injected_pending: int = 0     # copies still parked for reordering
     trace_events: int = 0
 
     @property
@@ -414,15 +425,27 @@ class PipelineReport:
 
     @property
     def conservation_ok(self) -> bool:
-        """True when every delivery is accounted for, wire loss included.
+        """True when every delivery is accounted for, faults included.
 
         A frame dropped at the sender loses up to fan-out deliveries; a
-        random wire loss loses exactly one receiver copy.  The residual
-        must fit inside what the network admits to having lost."""
-        bound = self.wire_drops * max(
-            (c.speakers for c in self.channels), default=1
-        ) + self.wire_losses
-        return 0 <= self.conservation_residual <= bound
+        random wire loss or an injected loss kills exactly one receiver
+        copy; an injected corruption may turn a copy into garbage the
+        speaker cannot attribute to the channel; a copy still parked for
+        reordering is in flight.  All of those push the residual up, and
+        the residual must fit inside what the network admits to having
+        done.  Injected *duplicates* mint extra copies the producer never
+        sent, pushing the residual negative — by at most the number of
+        duplications."""
+        bound = (
+            self.wire_drops * max(
+                (c.speakers for c in self.channels), default=1
+            )
+            + self.wire_losses
+            + self.injected_losses
+            + self.injected_corrupted
+            + self.injected_pending
+        )
+        return -self.injected_duplicates <= self.conservation_residual <= bound
 
     def summary(self) -> str:
         """Ascii rendering, built on the :mod:`repro.metrics.report`
@@ -443,25 +466,36 @@ class PipelineReport:
                 lat_rows,
             ))
         parts.append(ascii_table(
-            ["channel", "sent", "rx", "played", "late", "sockdrop",
-             "inflight", "residual", "ratio"],
+            ["channel", "sent", "rx", "played", "late", "dup", "reord",
+             "undec", "sockdrop", "inflight", "residual", "ratio"],
             [
                 [c.name, c.data_sent, c.data_received, c.played,
-                 c.late_dropped, c.socket_drops, c.in_flight,
+                 c.late_dropped, c.dup_dropped, c.reorder_dropped,
+                 c.decode_failed, c.socket_drops, c.in_flight,
                  c.conservation_residual, c.compression_ratio]
                 for c in self.channels
             ],
         ))
-        parts.append(ascii_table(
-            ["quantity", "value"],
-            [
-                ["duration (s)", self.duration],
-                ["underruns", self.underruns],
-                ["silence (s)", self.silence_seconds],
-                ["wire drops", self.wire_drops],
-                ["wire losses", self.wire_losses],
-                ["trace events", self.trace_events],
-                ["conservation ok", str(self.conservation_ok)],
-            ],
-        ))
+        rows = [
+            ["duration (s)", self.duration],
+            ["underruns", self.underruns],
+            ["silence (s)", self.silence_seconds],
+            ["wire drops", self.wire_drops],
+            ["wire losses", self.wire_losses],
+        ]
+        if (self.injected_losses or self.injected_duplicates
+                or self.injected_reordered or self.injected_corrupted
+                or self.injected_pending):
+            rows += [
+                ["injected losses", self.injected_losses],
+                ["injected duplicates", self.injected_duplicates],
+                ["injected reordered", self.injected_reordered],
+                ["injected corrupted", self.injected_corrupted],
+                ["injected pending", self.injected_pending],
+            ]
+        rows += [
+            ["trace events", self.trace_events],
+            ["conservation ok", str(self.conservation_ok)],
+        ]
+        parts.append(ascii_table(["quantity", "value"], rows))
         return "\n\n".join(parts)

@@ -14,6 +14,7 @@ from repro.net.addr import (
     is_multicast,
     wire_bytes,
 )
+from repro.net.faults import FaultInjector, FaultStats, GilbertElliott
 from repro.net.segment import Datagram, EthernetSegment
 from repro.net.nic import Nic
 from repro.net.stack import NetworkStack, UdpSocket
@@ -29,6 +30,9 @@ __all__ = [
     "UDP_IP_OVERHEAD",
     "Datagram",
     "EthernetSegment",
+    "FaultInjector",
+    "FaultStats",
+    "GilbertElliott",
     "Nic",
     "NetworkStack",
     "UdpSocket",

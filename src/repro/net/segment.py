@@ -94,6 +94,13 @@ class EthernetSegment:
         self._nics: List["Nic"] = []
         self._wire_free_at = 0.0
         self._taps: List[Callable[[Datagram], None]] = []
+        #: optional FaultInjector interposed on receiver deliveries
+        self.faults = None
+
+    def set_fault_injector(self, faults) -> None:
+        """Route every receiver delivery through ``faults`` (see
+        :class:`~repro.net.faults.FaultInjector`); ``None`` detaches."""
+        self.faults = faults
 
     def attach(self, nic: "Nic") -> None:
         self._nics.append(nic)
@@ -137,7 +144,10 @@ class EthernetSegment:
             delay = done - now + self.latency
             if self.jitter:
                 delay += self._rng.uniform(0.0, self.jitter)
-            self.sim.schedule(delay, nic.deliver, dgram)
+            if self.faults is not None:
+                self.faults.deliver(nic, dgram, delay)
+            else:
+                self.sim.schedule(delay, nic.deliver, dgram)
         return True
 
     @property

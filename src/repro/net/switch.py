@@ -81,6 +81,13 @@ class SwitchedSegment:
         self._ingress_free: Dict[int, float] = {}
         self._egress_free: Dict[int, float] = {}
         self._taps: List[Callable[[Datagram], None]] = []
+        #: optional FaultInjector interposed on forwarded copies
+        self.faults = None
+
+    def set_fault_injector(self, faults) -> None:
+        """Route every forwarded copy through ``faults`` (see
+        :class:`~repro.net.faults.FaultInjector`); ``None`` detaches."""
+        self.faults = faults
 
     # -- EthernetSegment-compatible surface -----------------------------------
 
@@ -143,7 +150,10 @@ class SwitchedSegment:
             delay = out_done - now + self.latency
             if self.jitter:
                 delay += self._rng.uniform(0.0, self.jitter)
-            self.sim.schedule(delay, nic.deliver, dgram)
+            if self.faults is not None:
+                self.faults.deliver(nic, dgram, delay)
+            else:
+                self.sim.schedule(delay, nic.deliver, dgram)
             delivered_any = True
         return delivered_any or not receivers
 
