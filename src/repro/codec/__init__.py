@@ -13,6 +13,7 @@ inside the simulation (Figure 4).
 """
 
 from repro.codec.base import CodecID, get_codec
+from repro.codec.cache import DecodeCache, DecodeCacheStats, DecodedBlock
 from repro.codec.vorbislike import VorbisLikeCodec
 from repro.codec.adpcm import AdpcmCodec
 from repro.codec.mp3like import Mp3LikeCodec, Mp3LikeFile
@@ -21,6 +22,9 @@ from repro.codec.cost import CodecCostModel, DEFAULT_COSTS
 __all__ = [
     "CodecID",
     "get_codec",
+    "DecodeCache",
+    "DecodeCacheStats",
+    "DecodedBlock",
     "VorbisLikeCodec",
     "AdpcmCodec",
     "Mp3LikeCodec",

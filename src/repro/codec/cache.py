@@ -1,0 +1,124 @@
+"""Shared-decode cache: decode each multicast payload once per LAN.
+
+The paper's producer "does not need to maintain any state for the Ethernet
+Speakers that listen in" (§2.3): adding a listener is free on the wire.  In
+the simulator, though, every speaker on a channel receives a byte-identical
+copy of the same data packet and — without this module — runs a full MDCT /
+Rice decode of it independently, making fan-out O(N) in *host* CPU even
+though the virtual machines are rightly charged their own cycles.
+
+:class:`DecodeCache` is a bounded LRU keyed by
+
+    (payload digest, payload length, codec id, audio parameters)
+
+so N speakers tuned to one channel decode each block exactly once, while
+channels carrying the same bytes under different parameters or codecs can
+never share an entry (the isolation the tests pin down).  The cache stores
+the *speaker-independent* part of the decode — the unity-gain PCM bytes and
+the block's RMS level — so per-speaker transforms (gain, room coupling)
+still run privately and bypass the cache entirely.
+
+Virtual time is untouched: a cache hit skips the host-side numpy work only;
+the simulated CPU cycles for the decode are charged by the speaker exactly
+as on a miss, so batched and unbatched runs are bit-identical in sim time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass
+class DecodeCacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class DecodedBlock:
+    """The shareable result of decoding one payload at unity gain."""
+
+    #: PCM bytes in the device's configured format
+    pcm: bytes
+    #: RMS of the decoded samples, or None when the block was empty
+    #: (an empty block leaves the speaker's last RMS untouched)
+    rms: Optional[float]
+
+
+class DecodeCache:
+    """Bounded LRU of :class:`DecodedBlock` entries.
+
+    Parameters
+    ----------
+    max_entries:
+        bound on cached blocks; beyond it the least-recently-used entry
+        is evicted.  At the default 0.5 s producer chunking a few dozen
+        entries cover every in-flight block of several channels.
+    telemetry:
+        a :class:`~repro.metrics.telemetry.Telemetry` registry; hit /
+        miss / eviction counters are published as ``codec.cache.hits``
+        etc.  ``None`` falls back to the process default.
+    """
+
+    def __init__(self, max_entries: int = 256, telemetry=None, name: str = ""):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1: {max_entries}")
+        if telemetry is None:
+            from repro.metrics.telemetry import get_telemetry
+
+            telemetry = get_telemetry()
+        self.max_entries = max_entries
+        self.name = name
+        self.stats = DecodeCacheStats()
+        label = f"[{name}]" if name else ""
+        self._c_hits = telemetry.counter(f"codec.cache.hits{label}")
+        self._c_misses = telemetry.counter(f"codec.cache.misses{label}")
+        self._c_evictions = telemetry.counter(f"codec.cache.evictions{label}")
+        self._entries: "OrderedDict[Tuple, DecodedBlock]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def key_for(payload, codec_id, params) -> Tuple:
+        """The cache key for ``payload`` decoded as ``codec_id``/``params``.
+
+        The digest collapses byte-identical multicast copies; codec id and
+        the full :class:`~repro.audio.params.AudioParams` keep channels
+        with different configurations strictly apart even when their
+        payload bytes collide.
+        """
+        digest = hashlib.blake2b(payload, digest_size=16).digest()
+        return (digest, len(payload), int(codec_id), params)
+
+    def get(self, key: Tuple) -> Optional[DecodedBlock]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            self._c_misses.inc()
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        self._c_hits.inc()
+        return entry
+
+    def put(self, key: Tuple, entry: DecodedBlock) -> None:
+        entries = self._entries
+        entries[key] = entry
+        entries.move_to_end(key)
+        if len(entries) > self.max_entries:
+            entries.popitem(last=False)
+            self.stats.evictions += 1
+            self._c_evictions.inc()
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -39,6 +39,11 @@ _CONTROL = struct.Struct("<ddBIBBB")  # wall_clock, stream_pos, enc, rate,
 _DATA = struct.Struct("<dBBI")  # play_at, codec, flags, pcm_bytes
 _ANNOUNCE_ENTRY = struct.Struct("<H4sHB")  # channel_id, ip, port, codec
 
+# pre-composed whole-header structs for the hot pack/parse paths: one
+# ``pack`` call per data packet instead of two packs plus a concatenation
+_DATA_HEADER = struct.Struct("<HBBHIdBBI")      # _COMMON + _DATA
+_CONTROL_HEADER = struct.Struct("<HBBHIddBIBBB")  # _COMMON + _CONTROL
+
 #: DataPacket.flags bit: payload is synthetic filler of the right size, not
 #: a decodable codec block (used by pure-performance scenarios)
 FLAG_SYNTHETIC = 0x01
@@ -69,9 +74,12 @@ class ControlPacket:
     def encode(self) -> bytes:
         name_bytes = self.name.encode("utf-8")[:255]
         return (
-            _COMMON.pack(MAGIC, VERSION, TYPE_CONTROL, self.channel_id,
-                         self.seq)
-            + _CONTROL.pack(
+            _CONTROL_HEADER.pack(
+                MAGIC,
+                VERSION,
+                TYPE_CONTROL,
+                self.channel_id,
+                self.seq,
                 self.wall_clock,
                 self.stream_pos,
                 self.params.encoding.wire_id,
@@ -92,6 +100,9 @@ class DataPacket:
     channel_id: int
     seq: int
     play_at: float
+    #: ``bytes`` when built locally; parsing returns a read-only
+    #: ``memoryview`` into the received datagram (zero-copy) — the two
+    #: compare equal and both feed every decoder unchanged
     payload: bytes
     codec_id: CodecID = CodecID.RAW
     synthetic: bool = False
@@ -99,12 +110,14 @@ class DataPacket:
 
     def encode(self) -> bytes:
         flags = FLAG_SYNTHETIC if self.synthetic else 0
-        return (
-            _COMMON.pack(MAGIC, VERSION, TYPE_DATA, self.channel_id, self.seq)
-            + _DATA.pack(self.play_at, int(self.codec_id), flags,
-                         self.pcm_bytes)
-            + self.payload
+        header = _DATA_HEADER.pack(
+            MAGIC, VERSION, TYPE_DATA, self.channel_id, self.seq,
+            self.play_at, int(self.codec_id), flags, self.pcm_bytes,
         )
+        payload = self.payload
+        if not isinstance(payload, bytes):
+            payload = bytes(payload)
+        return header + payload
 
 
 @dataclass(frozen=True)
@@ -146,42 +159,54 @@ Packet = Union[ControlPacket, DataPacket, AnnouncePacket]
 
 
 def parse_packet(data: bytes) -> Packet:
-    """Decode any protocol packet; raises :class:`ProtocolError` on junk."""
-    if len(data) < _COMMON.size:
-        raise ProtocolError(f"short packet ({len(data)} bytes)")
+    """Decode any protocol packet; raises :class:`ProtocolError` on junk.
+
+    Zero-copy: the input (``bytes`` or any C-contiguous buffer) is read
+    in place via ``unpack_from`` with absolute offsets — no body slice is
+    materialised, and a :class:`DataPacket`'s ``payload`` is a read-only
+    ``memoryview`` into the datagram rather than a copy.
+    """
+    total = len(data)
+    if total < _COMMON.size:
+        raise ProtocolError(f"short packet ({total} bytes)")
     magic, version, ptype, channel_id, seq = _COMMON.unpack_from(data, 0)
     if magic != MAGIC:
         raise ProtocolError(f"bad magic {magic:#x}")
     if version != VERSION:
         raise ProtocolError(f"unsupported version {version}")
-    body = data[_COMMON.size :]
     try:
         if ptype == TYPE_CONTROL:
-            return _parse_control(channel_id, seq, body)
+            return _parse_control(channel_id, seq, data, _COMMON.size, total)
         if ptype == TYPE_DATA:
-            return _parse_data(channel_id, seq, body)
+            return _parse_data(channel_id, seq, data, _COMMON.size, total)
         if ptype == TYPE_ANNOUNCE:
-            return _parse_announce(seq, body)
+            return _parse_announce(seq, data, _COMMON.size, total)
     except (struct.error, ValueError, IndexError) as err:
         raise ProtocolError(f"malformed packet: {err}") from None
     raise ProtocolError(f"unknown packet type {ptype}")
 
 
-def _parse_control(channel_id: int, seq: int, body: bytes) -> ControlPacket:
+def _parse_control(
+    channel_id: int, seq: int, data, base: int, total: int
+) -> ControlPacket:
     (wall_clock, stream_pos, enc, rate, channels, codec, quality) = (
-        _CONTROL.unpack_from(body, 0)
+        _CONTROL.unpack_from(data, base)
     )
-    offset = _CONTROL.size
-    name_len = body[offset]
+    offset = base + _CONTROL.size
+    if offset >= total:
+        raise ProtocolError(
+            "control packet length mismatch: missing name length byte"
+        )
+    name_len = data[offset]
     # strict framing: the name length byte must describe exactly the rest
     # of the datagram, so a truncated packet can never parse as a shorter
     # name and trailing junk can never ride along unnoticed
-    if len(body) != offset + 1 + name_len:
+    if total != offset + 1 + name_len:
         raise ProtocolError(
             f"control packet length mismatch: name_len={name_len}, "
-            f"{len(body) - offset - 1} bytes follow"
+            f"{total - offset - 1} bytes follow"
         )
-    name = body[offset + 1 : offset + 1 + name_len].decode("utf-8")
+    name = str(memoryview(data)[offset + 1 : offset + 1 + name_len], "utf-8")
     return ControlPacket(
         channel_id=channel_id,
         seq=seq,
@@ -194,35 +219,47 @@ def _parse_control(channel_id: int, seq: int, body: bytes) -> ControlPacket:
     )
 
 
-def _parse_data(channel_id: int, seq: int, body: bytes) -> DataPacket:
-    play_at, codec, flags, pcm_bytes = _DATA.unpack_from(body, 0)
+def _parse_data(
+    channel_id: int, seq: int, data, base: int, total: int
+) -> DataPacket:
+    play_at, codec, flags, pcm_bytes = _DATA.unpack_from(data, base)
+    view = memoryview(data)
+    if not view.readonly:
+        view = view.toreadonly()
     return DataPacket(
         channel_id=channel_id,
         seq=seq,
         play_at=play_at,
-        payload=body[_DATA.size :],
+        payload=view[base + _DATA.size :],
         codec_id=CodecID(codec),
         synthetic=bool(flags & FLAG_SYNTHETIC),
         pcm_bytes=pcm_bytes,
     )
 
 
-def _parse_announce(seq: int, body: bytes) -> AnnouncePacket:
-    count = body[0]
-    offset = 1
+def _parse_announce(seq: int, data, base: int, total: int) -> AnnouncePacket:
+    if base >= total:
+        raise ProtocolError("malformed packet: missing announce entry count")
+    count = data[base]
+    offset = base + 1
+    view = memoryview(data)
     entries = []
     for _ in range(count):
         channel_id, ip_bytes, port, codec = _ANNOUNCE_ENTRY.unpack_from(
-            body, offset
+            data, offset
         )
         offset += _ANNOUNCE_ENTRY.size
-        name_len = body[offset]
-        if len(body) < offset + 1 + name_len:
+        if offset >= total:
+            raise ProtocolError(
+                "announce entry truncated: missing name length byte"
+            )
+        name_len = data[offset]
+        if total < offset + 1 + name_len:
             raise ProtocolError(
                 f"announce entry truncated inside name ({name_len} "
-                f"declared, {len(body) - offset - 1} present)"
+                f"declared, {total - offset - 1} present)"
             )
-        name = body[offset + 1 : offset + 1 + name_len].decode("utf-8")
+        name = str(view[offset + 1 : offset + 1 + name_len], "utf-8")
         offset += 1 + name_len
         entries.append(
             AnnounceEntry(

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Deque, List, Optional, Set, Tuple
 
 import numpy as np
@@ -26,6 +27,7 @@ import numpy as np
 from repro.audio.encodings import decode_samples, encode_samples
 from repro.audio.params import AudioParams
 from repro.codec.base import CodecID, get_codec
+from repro.codec.cache import DecodeCache, DecodedBlock
 from repro.codec.cost import DEFAULT_COSTS
 from repro.core.protocol import (
     AnnouncePacket,
@@ -37,6 +39,13 @@ from repro.core.protocol import (
 from repro.kernel.audio import AUDIO_SETINFO
 from repro.metrics.telemetry import get_telemetry
 from repro.sim.process import Process, ProcessKilled, Sleep
+
+
+@lru_cache(maxsize=16)
+def _synthetic_filler(nbytes: int) -> bytes:
+    """Shared zero block for synthetic payloads: every speaker on a
+    channel used to allocate its own ``bytes(pcm_bytes)`` per packet."""
+    return bytes(nbytes)
 
 
 @dataclass
@@ -95,6 +104,7 @@ class EthernetSpeaker:
         conceal_losses: bool = False,
         name: str = "",
         telemetry=None,
+        decode_cache: Optional[DecodeCache] = None,
     ):
         self.machine = machine
         self.group_ip = group_ip
@@ -116,6 +126,11 @@ class EthernetSpeaker:
         #: the previous block instead of letting the driver insert
         #: silence — the standard concealment for uncompressed audio
         self.conceal_losses = conceal_losses
+        #: optional shared-decode cache (one per LAN): byte-identical
+        #: multicast payloads are decoded once and the unity-gain PCM is
+        #: shared across every speaker on the channel.  ``None`` decodes
+        #: privately (the pre-fan-out-fast-path behaviour).
+        self.decode_cache = decode_cache
         self._last_pcm: Optional[bytes] = None
         #: playback gain (§5.2's knob); 1.0 = unity
         self.gain = 1.0
@@ -136,6 +151,10 @@ class EthernetSpeaker:
         self._c_reorder = tel.counter(f"speaker.reorder_dropped[{label}]")
         self._c_decode_failed = tel.counter(f"speaker.decode_failed[{label}]")
         self._c_resyncs = tel.counter(f"speaker.resyncs[{label}]")
+        # hot-loop instruments are resolved once here: building the label
+        # f-string per packet showed up in the fan-out profile
+        self._c_concealed = tel.counter(f"speaker.concealed[{label}]")
+        self._g_rx_queue = tel.gauge(f"speaker.rx_queue[{label}]")
         self._last_arrival: Optional[float] = None
         self._last_block_seconds = 0.0
         self._proc: Optional[Process] = None
@@ -406,7 +425,7 @@ class EthernetSpeaker:
                 self._bytes_written += len(self._last_pcm)
                 yield from machine.sys_write(fd, self._last_pcm)
                 self.stats.concealed += 1
-                tel.count(f"speaker.concealed[{self.name}]")
+                self._c_concealed.inc()
         self._last_pcm = pcm
         self.stats.play_log.append((packet.play_at, machine.sim.now))
         self.stats.write_offsets.append(
@@ -423,8 +442,7 @@ class EthernetSpeaker:
             # end-to-end path, playout buffering included
             tel.observe("pipeline.e2e_latency",
                         flight + (machine.sim.now - arrived))
-        tel.set_gauge(f"speaker.rx_queue[{self.name}]",
-                      self._sock.queued if self._sock else 0)
+        self._g_rx_queue.set(self._sock.queued if self._sock else 0)
 
     #: how many accepted sequence numbers to keep for duplicate detection
     #: (far wider than any plausible wire reorder window; bounded so a
@@ -438,7 +456,12 @@ class EthernetSpeaker:
             self._recent_seqs.discard(self._recent_order.popleft())
 
     def _decode(self, packet: DataPacket):
-        """Payload -> PCM bytes in the device's configured format."""
+        """Payload -> PCM bytes in the device's configured format.
+
+        The simulated CPU is charged the full decode cost regardless of
+        the shared-decode cache: a hit only skips redundant *host* work,
+        so cached and uncached runs are bit-identical in virtual time.
+        """
         machine = self.machine
         params = self._params
         frames = params.frames_of(packet.pcm_bytes or len(packet.payload))
@@ -447,12 +470,24 @@ class EthernetSpeaker:
         if cycles > 0:
             yield machine.cpu.run(cycles, domain="user")
         if packet.synthetic:
-            return bytes(packet.pcm_bytes)
+            return _synthetic_filler(packet.pcm_bytes)
         if packet.codec_id == CodecID.RAW:
             if self.gain == 1.0 and self.room is None:
                 return packet.payload
             samples = decode_samples(packet.payload, params)
         else:
+            cache = self.decode_cache
+            if cache is not None and self.gain == 1.0 and self.room is None:
+                # the speaker-independent path: share the decoded block
+                # with every other unity-gain speaker on the channel
+                key = cache.key_for(packet.payload, packet.codec_id, params)
+                entry = cache.get(key)
+                if entry is None:
+                    entry = self._decode_shared(packet, params)
+                    cache.put(key, entry)
+                if entry.rms is not None:
+                    self.last_output_rms = entry.rms
+                return entry.pcm
             decoder = self._get_decoder(packet.codec_id)
             samples = decoder.decode_block(packet.payload)
         if self.gain != 1.0:
@@ -464,6 +499,16 @@ class EthernetSpeaker:
             if self.room is not None:
                 self.room.speaker_rms = self.last_output_rms
         return encode_samples(samples, params)
+
+    def _decode_shared(self, packet: DataPacket, params: AudioParams
+                       ) -> DecodedBlock:
+        """Decode at unity gain, packaged for the shared cache."""
+        decoder = self._get_decoder(packet.codec_id)
+        samples = decoder.decode_block(packet.payload)
+        rms = None
+        if len(samples):
+            rms = float(np.sqrt(np.mean(np.square(samples))))
+        return DecodedBlock(pcm=encode_samples(samples, params), rms=rms)
 
     def _get_decoder(self, codec_id: CodecID):
         key = (codec_id, self._params.sample_rate)

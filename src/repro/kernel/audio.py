@@ -126,7 +126,16 @@ class AudioDevice(CharDevice):
                 yield self._space.wait()
             room = self.hiwat - self._level
             take = min(room, total - offset)
-            self._chunks.append(bytes(data[offset : offset + take]))
+            piece = data[offset : offset + take]
+            # accumulate views, join once per block in _pop: ``bytes`` and
+            # read-only memoryviews (the zero-copy packet payloads) are
+            # immutable, so the ring can hold them without a defensive
+            # copy; anything writable is snapshotted as before
+            if not isinstance(piece, bytes) and not (
+                isinstance(piece, memoryview) and piece.readonly
+            ):
+                piece = bytes(piece)
+            self._chunks.append(piece)
             self._level += take
             offset += take
             self.bytes_written += take

@@ -409,7 +409,20 @@ class PipelineReport:
     injected_reordered: int = 0   # copies held back past later traffic
     injected_corrupted: int = 0   # copies with a flipped payload byte
     injected_pending: int = 0     # copies still parked for reordering
+    #: shared decode cache (repro.codec.cache), summed over the system's
+    #: caches — hits are blocks whose host-side decode was skipped
+    decode_cache_hits: int = 0
+    decode_cache_misses: int = 0
+    decode_cache_evictions: int = 0
+    #: receivers-per-delivery-event histogram snapshot (net.fanout_batch);
+    #: empty when telemetry is disabled or delivery is unbatched
+    fanout_batch: dict = field(default_factory=dict)
     trace_events: int = 0
+
+    @property
+    def decode_cache_hit_rate(self) -> float:
+        total = self.decode_cache_hits + self.decode_cache_misses
+        return self.decode_cache_hits / total if total else 0.0
 
     @property
     def total_sent(self) -> int:
@@ -453,7 +466,8 @@ class PipelineReport:
         lat_rows = []
         for label, snap in (("e2e latency (s)", self.latency),
                             ("arrival latency (s)", self.arrival),
-                            ("jitter (s)", self.jitter)):
+                            ("jitter (s)", self.jitter),
+                            ("fanout batch (rx)", self.fanout_batch)):
             if snap:
                 lat_rows.append([
                     label, snap["count"], snap["mean"], snap["p50"],
@@ -492,6 +506,14 @@ class PipelineReport:
                 ["injected reordered", self.injected_reordered],
                 ["injected corrupted", self.injected_corrupted],
                 ["injected pending", self.injected_pending],
+            ]
+        if self.decode_cache_hits or self.decode_cache_misses:
+            rows += [
+                ["decode cache hits", self.decode_cache_hits],
+                ["decode cache misses", self.decode_cache_misses],
+                ["decode cache evictions", self.decode_cache_evictions],
+                ["decode cache hit rate",
+                 round(self.decode_cache_hit_rate, 4)],
             ]
         rows += [
             ["trace events", self.trace_events],

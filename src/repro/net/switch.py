@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.metrics.telemetry import get_telemetry
 from repro.net.addr import is_broadcast, is_multicast
-from repro.net.segment import Datagram
+from repro.net.segment import Datagram, FANOUT_BOUNDS, deliver_batch
 from repro.sim.core import Simulator
 
 
@@ -58,6 +58,7 @@ class SwitchedSegment:
         seed: int = 0,
         name: str = "switch0",
         telemetry=None,
+        batch_delivery: bool = True,
     ):
         if port_bps <= 0:
             raise ValueError("port bandwidth must be positive")
@@ -75,6 +76,10 @@ class SwitchedSegment:
         self.igmp_snooping = igmp_snooping
         self.max_egress_backlog = max_egress_backlog
         self.name = name
+        #: one delivery event per (frame, shared delay) group instead of
+        #: one per receiver port; falls back per-receiver under jitter or
+        #: an attached fault injector (see EthernetSegment.batch_delivery)
+        self.batch_delivery = batch_delivery
         self.stats = SwitchStats()
         self._rng = np.random.default_rng(seed)
         self._nics: List = []
@@ -119,6 +124,13 @@ class SwitchedSegment:
 
         tel = self.telemetry
         tracer = tel.tracer
+        batching = (
+            self.batch_delivery and self.faults is None and not self.jitter
+        )
+        #: delivery-time -> receivers sharing it (idle equal-speed ports
+        #: all land on one instant, so multicast fan-out usually builds a
+        #: single group); insertion order preserves per-receiver order
+        groups: Dict[float, List] = {}
         delivered_any = False
         for nic in receivers:
             out_port = id(nic)
@@ -148,13 +160,25 @@ class SwitchedSegment:
                 self.stats.receiver_losses += 1
                 continue
             delay = out_done - now + self.latency
+            if batching:
+                groups.setdefault(delay, []).append(nic)
+                delivered_any = True
+                continue
             if self.jitter:
                 delay += self._rng.uniform(0.0, self.jitter)
             if self.faults is not None:
                 self.faults.deliver(nic, dgram, delay)
             else:
-                self.sim.schedule(delay, nic.deliver, dgram)
+                self.sim.schedule_transient(delay, nic.deliver, dgram)
             delivered_any = True
+        for delay, nics in groups.items():
+            if len(nics) == 1:
+                self.sim.schedule_transient(delay, nics[0].deliver, dgram)
+            else:
+                self.sim.schedule_transient(delay, deliver_batch, nics, dgram)
+            if tel.enabled:
+                tel.observe("net.fanout_batch", len(nics),
+                            bounds=FANOUT_BOUNDS)
         return delivered_any or not receivers
 
     # -- forwarding decision ------------------------------------------------------

@@ -203,7 +203,7 @@ class CPU:
         quantum_cycles = self.quantum * self.freq_hz
         slice_cycles = min(quantum_cycles, job.remaining)
         slice_time = slice_cycles / self.freq_hz
-        self.sim.schedule(
+        self.sim.schedule_transient(
             overhead + slice_time, self._slice_done, job, slice_cycles
         )
 
@@ -223,7 +223,7 @@ class CPU:
                 job.proc._resume(None)
             # Defer the next dispatch one event so the woken process can
             # submit its follow-on work first (run-until-block).
-            self.sim.schedule(0.0, self._post_completion)
+            self.sim.schedule_transient(0.0, self._post_completion)
 
     def _post_completion(self) -> None:
         if self._current is None and self._run_queue:

@@ -147,7 +147,7 @@ class Process:
     ) -> "Process":
         """Create a process and schedule its first step for right now."""
         proc = cls(sim, gen, name)
-        sim.schedule(0.0, proc._step, None, None)
+        sim.schedule_transient(0.0, proc._step, None, None)
         return proc
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -161,14 +161,14 @@ class Process:
         if not self.alive:
             return
         self._clear_wait()
-        self.sim.schedule(0.0, self._step, value, None)
+        self.sim.schedule_transient(0.0, self._step, value, None)
 
     def _throw(self, exc: BaseException) -> None:
         """Resume the generator by raising ``exc`` inside it."""
         if not self.alive:
             return
         self._clear_wait()
-        self.sim.schedule(0.0, self._step, None, exc)
+        self.sim.schedule_transient(0.0, self._step, None, exc)
 
     def _clear_wait(self) -> None:
         if self._timeout_guard is not None:

@@ -1,0 +1,240 @@
+"""The zero-copy parser must behave exactly like a copying one.
+
+``parse_packet`` reads headers with ``unpack_from`` at absolute offsets and
+hands back a ``DataPacket.payload`` that is a read-only ``memoryview`` into
+the original datagram.  These tests pin that rewrite to a straightforward
+reference implementation that slices copies everywhere: for any input —
+valid, truncated at every byte, or randomly mutated — both parsers must
+agree on the result, or both must reject with :class:`ProtocolError`.
+"""
+
+import random
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.audio import AudioEncoding, AudioParams
+from repro.codec import CodecID
+from repro.core.protocol import (
+    MAGIC,
+    VERSION,
+    TYPE_ANNOUNCE,
+    TYPE_CONTROL,
+    TYPE_DATA,
+    _ANNOUNCE_ENTRY,
+    _COMMON,
+    _CONTROL,
+    _DATA,
+    AnnounceEntry,
+    AnnouncePacket,
+    ControlPacket,
+    DataPacket,
+    ProtocolError,
+    parse_packet,
+)
+
+# -- reference implementation: the pre-optimisation copying parser ------------
+
+
+def reference_parse(data):
+    """Parse with plain slices and copies — the behavioural oracle."""
+    data = bytes(data)
+    if len(data) < _COMMON.size:
+        raise ProtocolError("short packet")
+    magic, version, ptype, channel_id, seq = _COMMON.unpack(
+        data[: _COMMON.size]
+    )
+    if magic != MAGIC:
+        raise ProtocolError("bad magic")
+    if version != VERSION:
+        raise ProtocolError("unsupported version")
+    body = data[_COMMON.size :]
+    try:
+        if ptype == TYPE_CONTROL:
+            return _ref_control(channel_id, seq, body)
+        if ptype == TYPE_DATA:
+            return _ref_data(channel_id, seq, body)
+        if ptype == TYPE_ANNOUNCE:
+            return _ref_announce(seq, body)
+    except (struct.error, ValueError, IndexError) as err:
+        raise ProtocolError(f"malformed packet: {err}") from None
+    raise ProtocolError(f"unknown packet type {ptype}")
+
+
+def _ref_control(channel_id, seq, body):
+    (wall_clock, stream_pos, enc, rate, channels, codec, quality) = (
+        _CONTROL.unpack(body[: _CONTROL.size])
+    )
+    rest = body[_CONTROL.size :]
+    if not rest:
+        raise ProtocolError("missing name length byte")
+    name_len = rest[0]
+    if len(rest) != 1 + name_len:
+        raise ProtocolError("control packet length mismatch")
+    return ControlPacket(
+        channel_id=channel_id,
+        seq=seq,
+        wall_clock=wall_clock,
+        stream_pos=stream_pos,
+        params=AudioParams(AudioEncoding.from_wire_id(enc), rate, channels),
+        codec_id=CodecID(codec),
+        quality=quality,
+        name=rest[1 : 1 + name_len].decode("utf-8"),
+    )
+
+
+def _ref_data(channel_id, seq, body):
+    play_at, codec, flags, pcm_bytes = _DATA.unpack(body[: _DATA.size])
+    return DataPacket(
+        channel_id=channel_id,
+        seq=seq,
+        play_at=play_at,
+        payload=body[_DATA.size :],
+        codec_id=CodecID(codec),
+        synthetic=bool(flags & 0x01),
+        pcm_bytes=pcm_bytes,
+    )
+
+
+def _ref_announce(seq, body):
+    if not body:
+        raise ProtocolError("missing announce entry count")
+    count = body[0]
+    offset = 1
+    entries = []
+    for _ in range(count):
+        channel_id, ip_bytes, port, codec = _ANNOUNCE_ENTRY.unpack(
+            body[offset : offset + _ANNOUNCE_ENTRY.size]
+        )
+        offset += _ANNOUNCE_ENTRY.size
+        if offset >= len(body):
+            raise ProtocolError("announce entry truncated")
+        name_len = body[offset]
+        if len(body) < offset + 1 + name_len:
+            raise ProtocolError("announce entry truncated inside name")
+        name = body[offset + 1 : offset + 1 + name_len].decode("utf-8")
+        offset += 1 + name_len
+        entries.append(
+            AnnounceEntry(
+                channel_id=channel_id,
+                group_ip=".".join(str(b) for b in ip_bytes),
+                port=port,
+                codec_id=CodecID(codec),
+                name=name,
+            )
+        )
+    return AnnouncePacket(seq=seq, entries=tuple(entries))
+
+
+def assert_parsers_agree(data):
+    """Both parsers accept with equal results, or both reject."""
+    try:
+        expected = reference_parse(data)
+    except ProtocolError:
+        with pytest.raises(ProtocolError):
+            parse_packet(data)
+        return None
+    got = parse_packet(data)
+    assert got == expected
+    return got
+
+
+# -- corpus -------------------------------------------------------------------
+
+
+def sample_packets():
+    params = AudioParams(AudioEncoding.SLINEAR16, 44100, 2)
+    return [
+        ControlPacket(3, 42, 123.456, 12.5, params,
+                      CodecID.VORBIS_LIKE, 10, "lobby music"),
+        ControlPacket(1, 0, 0.0, 0.0, params, CodecID.RAW, 0, ""),
+        DataPacket(1, 7, 3.25, b"\x01\x02\x03" * 100,
+                   CodecID.VORBIS_LIKE, False, 300),
+        DataPacket(2, 8, 0.0, b"", CodecID.RAW, True, 4096),
+        AnnouncePacket(5, (
+            AnnounceEntry(1, "239.192.0.1", 5001, CodecID.VORBIS_LIKE,
+                          "news"),
+            AnnounceEntry(2, "239.192.0.2", 5002, CodecID.RAW, "lobby"),
+        )),
+        AnnouncePacket(1),
+    ]
+
+
+# -- agreement on valid and systematically damaged inputs ---------------------
+
+
+def test_round_trips_agree():
+    for pkt in sample_packets():
+        out = assert_parsers_agree(pkt.encode())
+        assert out == pkt
+
+
+def test_every_truncation_agrees():
+    for pkt in sample_packets():
+        wire = pkt.encode()
+        for cut in range(len(wire)):
+            assert_parsers_agree(wire[:cut])
+
+
+def test_every_trailing_extension_agrees():
+    for pkt in sample_packets():
+        wire = pkt.encode()
+        for extra in (b"\x00", b"\xff" * 3, b"junk!"):
+            assert_parsers_agree(wire + extra)
+
+
+def test_single_byte_mutations_agree():
+    rng = random.Random(1234)
+    for pkt in sample_packets():
+        wire = bytearray(pkt.encode())
+        for _ in range(200):
+            pos = rng.randrange(len(wire))
+            old = wire[pos]
+            wire[pos] = rng.randrange(256)
+            assert_parsers_agree(bytes(wire))
+            wire[pos] = old
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.binary(max_size=120))
+def test_random_binary_agrees(data):
+    assert_parsers_agree(data)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.binary(min_size=_COMMON.size, max_size=80))
+def test_forced_magic_random_body_agrees(data):
+    # valid magic/version so fuzzing actually reaches the body parsers
+    wire = struct.pack("<HB", MAGIC, VERSION) + data[3:]
+    assert_parsers_agree(wire)
+
+
+# -- zero-copy properties -----------------------------------------------------
+
+
+def test_data_payload_is_view_into_datagram():
+    pkt = DataPacket(1, 9, 1.0, b"abc" * 50, CodecID.RAW)
+    wire = pkt.encode()
+    out = parse_packet(wire)
+    assert isinstance(out.payload, memoryview)
+    assert out.payload.readonly
+    assert out.payload.obj is wire        # no copy was made
+    assert out.payload == pkt.payload     # still compares equal to bytes
+    assert bytes(out.payload) == pkt.payload
+
+
+def test_writable_input_yields_readonly_view():
+    wire = bytearray(DataPacket(1, 9, 1.0, b"xyz" * 10).encode())
+    out = parse_packet(wire)
+    assert out.payload.readonly
+    with pytest.raises(TypeError):
+        out.payload[0] = 0
+
+
+def test_bytearray_and_memoryview_inputs_parse():
+    for pkt in sample_packets():
+        wire = pkt.encode()
+        assert parse_packet(bytearray(wire)) == pkt
+        assert parse_packet(memoryview(wire)) == pkt
