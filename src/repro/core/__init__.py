@@ -18,12 +18,15 @@ deployment (LAN + producer + speakers) in a few lines; see
 """
 
 from repro.core.channel import ChannelConfig
+from repro.core.failover import FailoverStats, WarmStandby
 from repro.core.protocol import (
     AnnouncePacket,
     ControlPacket,
     DataPacket,
     ProtocolError,
+    epoch_newer,
     parse_packet,
+    seq_delta,
 )
 from repro.core.ratelimiter import RateLimiter
 from repro.core.rebroadcaster import Rebroadcaster
@@ -37,8 +40,12 @@ __all__ = [
     "AnnouncePacket",
     "ProtocolError",
     "parse_packet",
+    "epoch_newer",
+    "seq_delta",
     "RateLimiter",
     "Rebroadcaster",
     "EthernetSpeaker",
     "EthernetSpeakerSystem",
+    "WarmStandby",
+    "FailoverStats",
 ]

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Tuple, Union
+from typing import Optional, Tuple, Union
 
 from repro.audio.params import AudioEncoding, AudioParams
 from repro.codec.base import CodecID
@@ -33,7 +33,11 @@ TYPE_CONTROL = 1
 TYPE_DATA = 2
 TYPE_ANNOUNCE = 3
 
-_COMMON = struct.Struct("<HBBHI")  # magic, version, type, channel_id, seq
+# magic, version, type, channel_id, seq, epoch — the epoch identifies the
+# producer incarnation feeding the channel: a warm-standby takeover (or an
+# operator-forced restart) increments it so speakers re-anchor their clock
+# and sequence state instead of misreading the new producer as drift
+_COMMON = struct.Struct("<HBBHIH")
 _CONTROL = struct.Struct("<ddBIBBB")  # wall_clock, stream_pos, enc, rate,
                                       # channels, codec, quality
 _DATA = struct.Struct("<dBBI")  # play_at, codec, flags, pcm_bytes
@@ -41,8 +45,8 @@ _ANNOUNCE_ENTRY = struct.Struct("<H4sHB")  # channel_id, ip, port, codec
 
 # pre-composed whole-header structs for the hot pack/parse paths: one
 # ``pack`` call per data packet instead of two packs plus a concatenation
-_DATA_HEADER = struct.Struct("<HBBHIdBBI")      # _COMMON + _DATA
-_CONTROL_HEADER = struct.Struct("<HBBHIddBIBBB")  # _COMMON + _CONTROL
+_DATA_HEADER = struct.Struct("<HBBHIHdBBI")      # _COMMON + _DATA
+_CONTROL_HEADER = struct.Struct("<HBBHIHddBIBBB")  # _COMMON + _CONTROL
 
 #: DataPacket.flags bit: payload is synthetic filler of the right size, not
 #: a decodable codec block (used by pure-performance scenarios)
@@ -70,6 +74,7 @@ class ControlPacket:
     codec_id: CodecID = CodecID.RAW
     quality: int = 10
     name: str = ""
+    epoch: int = 0
 
     def encode(self) -> bytes:
         name_bytes = self.name.encode("utf-8")[:255]
@@ -80,6 +85,7 @@ class ControlPacket:
                 TYPE_CONTROL,
                 self.channel_id,
                 self.seq,
+                self.epoch,
                 self.wall_clock,
                 self.stream_pos,
                 self.params.encoding.wire_id,
@@ -107,12 +113,14 @@ class DataPacket:
     codec_id: CodecID = CodecID.RAW
     synthetic: bool = False
     pcm_bytes: int = 0
+    epoch: int = 0
 
     def encode(self) -> bytes:
         flags = FLAG_SYNTHETIC if self.synthetic else 0
         header = _DATA_HEADER.pack(
             MAGIC, VERSION, TYPE_DATA, self.channel_id, self.seq,
-            self.play_at, int(self.codec_id), flags, self.pcm_bytes,
+            self.epoch, self.play_at, int(self.codec_id), flags,
+            self.pcm_bytes,
         )
         payload = self.payload
         if not isinstance(payload, bytes):
@@ -135,10 +143,13 @@ class AnnouncePacket:
 
     seq: int
     entries: Tuple[AnnounceEntry, ...] = ()
+    epoch: int = 0
 
     def encode(self) -> bytes:
         parts = [
-            _COMMON.pack(MAGIC, VERSION, TYPE_ANNOUNCE, 0, self.seq),
+            _COMMON.pack(
+                MAGIC, VERSION, TYPE_ANNOUNCE, 0, self.seq, self.epoch
+            ),
             bytes([len(self.entries)]),
         ]
         for entry in self.entries:
@@ -169,25 +180,31 @@ def parse_packet(data: bytes) -> Packet:
     total = len(data)
     if total < _COMMON.size:
         raise ProtocolError(f"short packet ({total} bytes)")
-    magic, version, ptype, channel_id, seq = _COMMON.unpack_from(data, 0)
+    magic, version, ptype, channel_id, seq, epoch = _COMMON.unpack_from(
+        data, 0
+    )
     if magic != MAGIC:
         raise ProtocolError(f"bad magic {magic:#x}")
     if version != VERSION:
         raise ProtocolError(f"unsupported version {version}")
     try:
         if ptype == TYPE_CONTROL:
-            return _parse_control(channel_id, seq, data, _COMMON.size, total)
+            return _parse_control(
+                channel_id, seq, epoch, data, _COMMON.size, total
+            )
         if ptype == TYPE_DATA:
-            return _parse_data(channel_id, seq, data, _COMMON.size, total)
+            return _parse_data(
+                channel_id, seq, epoch, data, _COMMON.size, total
+            )
         if ptype == TYPE_ANNOUNCE:
-            return _parse_announce(seq, data, _COMMON.size, total)
+            return _parse_announce(seq, epoch, data, _COMMON.size, total)
     except (struct.error, ValueError, IndexError) as err:
         raise ProtocolError(f"malformed packet: {err}") from None
     raise ProtocolError(f"unknown packet type {ptype}")
 
 
 def _parse_control(
-    channel_id: int, seq: int, data, base: int, total: int
+    channel_id: int, seq: int, epoch: int, data, base: int, total: int
 ) -> ControlPacket:
     (wall_clock, stream_pos, enc, rate, channels, codec, quality) = (
         _CONTROL.unpack_from(data, base)
@@ -216,11 +233,12 @@ def _parse_control(
         codec_id=CodecID(codec),
         quality=quality,
         name=name,
+        epoch=epoch,
     )
 
 
 def _parse_data(
-    channel_id: int, seq: int, data, base: int, total: int
+    channel_id: int, seq: int, epoch: int, data, base: int, total: int
 ) -> DataPacket:
     play_at, codec, flags, pcm_bytes = _DATA.unpack_from(data, base)
     view = memoryview(data)
@@ -234,10 +252,13 @@ def _parse_data(
         codec_id=CodecID(codec),
         synthetic=bool(flags & FLAG_SYNTHETIC),
         pcm_bytes=pcm_bytes,
+        epoch=epoch,
     )
 
 
-def _parse_announce(seq: int, data, base: int, total: int) -> AnnouncePacket:
+def _parse_announce(
+    seq: int, epoch: int, data, base: int, total: int
+) -> AnnouncePacket:
     if base >= total:
         raise ProtocolError("malformed packet: missing announce entry count")
     count = data[base]
@@ -270,4 +291,42 @@ def _parse_announce(seq: int, data, base: int, total: int) -> AnnouncePacket:
                 name=name,
             )
         )
-    return AnnouncePacket(seq=seq, entries=tuple(entries))
+    return AnnouncePacket(seq=seq, entries=tuple(entries), epoch=epoch)
+
+
+_PEEK = struct.Struct("<HBB")  # magic, version, type
+
+
+def peek_type(data) -> Optional[int]:
+    """Packet type byte if ``data`` starts like one of ours, else None.
+
+    A constant-cost probe for accounting paths (e.g. classifying what a
+    dead receiver's socket dropped) that must not pay for a full parse.
+    """
+    if len(data) < _COMMON.size:
+        return None
+    magic, version, ptype = _PEEK.unpack_from(data, 0)
+    if magic != MAGIC or version != VERSION:
+        return None
+    return ptype
+
+
+# -- serial-number arithmetic (RFC 1982 style) --------------------------------
+
+SEQ_MOD = 1 << 32     # data/control ``seq`` is a wrapping u32
+EPOCH_MOD = 1 << 16   # producer ``epoch`` is a wrapping u16
+
+
+def seq_delta(new: int, old: int) -> int:
+    """Forward distance from ``old`` to ``new`` in u32 serial space.
+
+    0 means a duplicate; a value >= 2**31 means ``new`` is *behind*
+    ``old`` (stale/reordered); anything else is the forward step, so a
+    producer that wraps past 2**32 - 1 keeps a monotonic stream.
+    """
+    return (new - old) % SEQ_MOD
+
+
+def epoch_newer(new: int, old: int) -> bool:
+    """True when ``new`` is a later producer incarnation than ``old``."""
+    return new != old and (new - old) % EPOCH_MOD < EPOCH_MOD // 2

@@ -25,7 +25,7 @@ from repro.audio.params import AudioParams
 from repro.codec.base import CodecID, get_codec
 from repro.codec.cost import DEFAULT_COSTS, estimated_ratio
 from repro.core.channel import ChannelConfig
-from repro.core.protocol import ControlPacket, DataPacket
+from repro.core.protocol import EPOCH_MOD, SEQ_MOD, ControlPacket, DataPacket
 from repro.core.ratelimiter import RateLimiter
 from repro.metrics.telemetry import get_telemetry
 from repro.sim.process import Process, Sleep
@@ -75,6 +75,7 @@ class Rebroadcaster:
         authenticator=None,
         cost_model=None,
         telemetry=None,
+        epoch: int = 0,
     ):
         self.machine = machine
         self.channel = channel
@@ -99,6 +100,10 @@ class Rebroadcaster:
         self._c_susp = tel.counter(f"rebroadcaster.suspended[{label}]")
         self._c_fail = tel.counter(f"rebroadcaster.send_failures[{label}]")
         self.suspended = False
+        #: producer incarnation stamped into every packet; a warm standby
+        #: taking over (or an operator restarting the producer) bumps it
+        #: so speakers re-anchor instead of reading the handover as drift
+        self.epoch = epoch % EPOCH_MOD
         self._proc: Optional[Process] = None
         self._params: Optional[AudioParams] = None
         self._codec_id = CodecID.RAW
@@ -118,6 +123,37 @@ class Rebroadcaster:
     def stop(self) -> None:
         if self._proc is not None:
             self._proc.kill()
+
+    @property
+    def alive(self) -> bool:
+        return self._proc is not None and self._proc.alive
+
+    def hang(self, freeze_cpu: bool = False) -> None:
+        """Wedge the producer process (see ``Process.freeze``)."""
+        if self._proc is not None and self._proc.alive:
+            self._proc.freeze()
+        if freeze_cpu:
+            self.machine.cpu.halt()
+
+    def unhang(self) -> None:
+        self.machine.cpu.unhalt()
+        if self._proc is not None:
+            self._proc.thaw()
+
+    def restart(self, epoch: Optional[int] = None) -> Process:
+        """Restart a dead (or wedged) producer process.
+
+        The new incarnation must not silently continue the old schedule:
+        its epoch is bumped (or set to ``epoch``) so speakers re-anchor.
+        The stream clock and the VAD backlog carry over — this is the
+        same machine rebooting the producer daemon, not a new source.
+        """
+        self.machine.cpu.unhalt()
+        if self._proc is not None and self._proc.alive:
+            self._proc.kill()
+        self.epoch = (self.epoch + 1 if epoch is None else epoch) % EPOCH_MOD
+        self._need_control = True
+        return self.start()
 
     def suspend(self) -> None:
         """§4.3 (MSNIP): stop transmitting while nobody listens.
@@ -217,7 +253,7 @@ class Rebroadcaster:
                            bytes=len(payload))
         wire_payload, synthetic = yield from self._compress(payload, params)
         tracer.end(enc, wire_bytes=len(wire_payload))
-        self._seq += 1
+        self._seq = (self._seq + 1) % SEQ_MOD
         packet = DataPacket(
             channel_id=self.channel.channel_id,
             seq=self._seq,
@@ -226,6 +262,7 @@ class Rebroadcaster:
             codec_id=self._codec_id,
             synthetic=synthetic,
             pcm_bytes=len(payload),
+            epoch=self.epoch,
         )
         ok = yield from self._send(sock, packet.encode())
         self.stats.data_sent += 1
@@ -266,7 +303,7 @@ class Rebroadcaster:
     def _send_control(self, sock):
         if self._params is None:
             return
-        self._ctl_seq += 1
+        self._ctl_seq = (self._ctl_seq + 1) % SEQ_MOD
         packet = ControlPacket(
             channel_id=self.channel.channel_id,
             seq=self._ctl_seq,
@@ -276,6 +313,7 @@ class Rebroadcaster:
             codec_id=self._codec_id,
             quality=self.channel.quality,
             name=self.channel.name,
+            epoch=self.epoch,
         )
         self._last_control = self.machine.sim.now
         yield from self._send(sock, packet.encode())

@@ -30,11 +30,16 @@ from repro.codec.base import CodecID, get_codec
 from repro.codec.cache import DecodeCache, DecodedBlock
 from repro.codec.cost import DEFAULT_COSTS
 from repro.core.protocol import (
+    SEQ_MOD,
+    TYPE_DATA,
     AnnouncePacket,
     ControlPacket,
     DataPacket,
     ProtocolError,
+    epoch_newer,
     parse_packet,
+    peek_type,
+    seq_delta,
 )
 from repro.kernel.audio import AUDIO_SETINFO
 from repro.metrics.telemetry import get_telemetry
@@ -61,9 +66,17 @@ class SpeakerStats:
     reorder_dropped: int = 0  # arrived behind a newer block (stale seq)
     decode_failed: int = 0    # undecodable payload (corruption in flight)
     resyncs: int = 0          # control-packet re-anchors (§3.2 large shift)
+    epoch_resyncs: int = 0    # re-anchors forced by a producer epoch change
+    epoch_dropped: int = 0    # data from a different producer incarnation
+    stale_controls: int = 0   # controls from a dead (older-epoch) producer
+    socket_data_drops: int = 0  # data copies lost at the socket (overflow
+                                # while hung/slow, or queued when it died)
     garbage_rx: int = 0
     auth_rejected: int = 0
     first_play_time: Optional[float] = None
+    #: wall-clock span from the last block committed before an outage
+    #: (crash, hang, producer failover) to the first block committed after
+    rejoin_gaps: List[float] = field(default_factory=list)
     #: (stream position, local time the block was committed to the device)
     play_log: List[Tuple[float, float]] = field(default_factory=list)
     #: (stream position, cumulative PCM bytes written before the block) —
@@ -151,6 +164,9 @@ class EthernetSpeaker:
         self._c_reorder = tel.counter(f"speaker.reorder_dropped[{label}]")
         self._c_decode_failed = tel.counter(f"speaker.decode_failed[{label}]")
         self._c_resyncs = tel.counter(f"speaker.resyncs[{label}]")
+        self._c_epoch_resyncs = tel.counter(f"speaker.epoch_resyncs[{label}]")
+        self._c_epoch_dropped = tel.counter(f"speaker.epoch_dropped[{label}]")
+        self._c_sock_drops = tel.counter(f"speaker.socket_drops[{label}]")
         # hot-loop instruments are resolved once here: building the label
         # f-string per packet showed up in the fan-out profile
         self._c_concealed = tel.counter(f"speaker.concealed[{label}]")
@@ -180,6 +196,17 @@ class EthernetSpeaker:
         #: while _bytes_written itself is per-session
         self._write_base = 0
         self._sock = None
+        #: the producer incarnation this speaker is anchored to; adopted
+        #: from the first control packet, bumped on failover (epoch rules
+        #: in docs/faults.md)
+        self._epoch: Optional[int] = None
+        #: local time of the last committed block before an outage began;
+        #: armed by crash()/cold_restart()/epoch re-anchor, cleared (and
+        #: recorded into ``stats.rejoin_gaps``) by the next committed block
+        self._gap_started: Optional[float] = None
+        #: crash() keeps the socket bound so downtime arrivals stay in the
+        #: conservation ledger (classified drops) instead of vanishing
+        self._crashed = False
 
     @property
     def state(self) -> str:
@@ -213,12 +240,73 @@ class EthernetSpeaker:
         self._playing_started = False
         self._decoder = None
         self._decoder_key = None
+        self._epoch = None
         self._write_base += self._bytes_written
         self._bytes_written = 0
         self._reset_stream_state()
         if self._proc is not None:
             self._proc.kill()
             self.start()
+
+    # -- node faults ----------------------------------------------------------
+
+    def crash(self) -> None:
+        """Kill the speaker process the way a wedged node dies: abruptly.
+
+        Unlike :meth:`stop`, the socket stays bound — the NIC keeps
+        receiving, the bounded queue fills, and overflow is counted as
+        classified drops — so every multicast copy addressed to this node
+        during the outage remains in the conservation ledger.
+        :meth:`cold_restart` disposes of the wreck.
+        """
+        if self._proc is None or not self._proc.alive:
+            return
+        self._crashed = True
+        self._begin_outage_gap()
+        self._proc.kill()
+
+    def hang(self, freeze_cpu: bool = True) -> None:
+        """Wedge the node: the process stops consuming its socket and
+        servicing timers without exiting.  With ``freeze_cpu`` the whole
+        machine halts (heartbeat agents starve too)."""
+        if self._proc is not None and self._proc.alive:
+            self._proc.freeze()
+        if freeze_cpu:
+            self.machine.cpu.halt()
+
+    def unhang(self) -> None:
+        """Undo :meth:`hang`; the backlog is drained on resume."""
+        self.machine.cpu.unhalt()
+        if self._proc is not None:
+            self._proc.thaw()
+
+    def cold_restart(self) -> Process:
+        """Reboot from cold: all RAM state is lost, then the paper's
+        wait-for-control → buffer → play path runs again from scratch.
+
+        Works on a crashed, hung, or running speaker.  The playback gap
+        (last block committed before the outage to first block after) is
+        recorded in ``stats.rejoin_gaps``.
+        """
+        self._begin_outage_gap()
+        self.machine.cpu.unhalt()
+        if self._proc is not None and self._proc.alive:
+            self._proc.kill()  # its finally closes the socket (counted)
+        elif self._sock is not None:
+            # crash wreck: drain + classify what queued up, free the port
+            self._sock.close()
+        self._sock = None
+        self._crashed = False
+        self._anchor = None
+        self._params = None
+        self._playing_started = False
+        self._decoder = None
+        self._decoder_key = None
+        self._epoch = None
+        self._write_base += self._bytes_written
+        self._bytes_written = 0
+        self._reset_stream_state()
+        return self.start()
 
     def _reset_stream_state(self) -> None:
         """Forget per-stream sequencing and concealment context.
@@ -243,6 +331,7 @@ class EthernetSpeaker:
         machine = self.machine
         sock = machine.net.socket(self.port, rx_capacity=self.rx_buffer_packets)
         sock.join_multicast(self.group_ip)
+        sock.drop_hook = self._classify_drop
         self._sock = sock
         fd = yield from machine.sys_open(self.audio_path)
         try:
@@ -270,18 +359,78 @@ class EthernetSpeaker:
         except ProcessKilled:
             raise
         finally:
-            sock.close()
+            if not self._crashed:
+                sock.close()
+            # a crashed node's socket stays bound: the NIC keeps receiving
+            # and the classified drop counter keeps the ledger closed
+            # until cold_restart() disposes of the wreck
+
+    def _classify_drop(self, payload) -> None:
+        """Socket drop observer: count the *data* copies this node lost
+        (overflow while hung or slow, queued datagrams when it died) so
+        the conservation ledger closes without crediting control traffic.
+        """
+        if peek_type(payload) == TYPE_DATA:
+            self.stats.socket_data_drops += 1
+            self._c_sock_drops.inc()
+
+    @property
+    def pending_data(self) -> int:
+        """Data packets sitting unconsumed in the receive queue."""
+        sock = self._sock
+        if sock is None:
+            return 0
+        return sum(
+            1 for item in sock._rx._items
+            if peek_type(item.payload) == TYPE_DATA
+        )
+
+    def _begin_outage_gap(self) -> None:
+        if self._gap_started is None:
+            if self.stats.play_log:
+                self._gap_started = self.stats.play_log[-1][1]
+            else:
+                self._gap_started = self.machine.sim.now
 
     def _handle_control(self, fd, packet: ControlPacket):
         self.stats.control_rx += 1
         self._c_ctl_rx.inc()
+        if (
+            self._epoch is not None
+            and packet.epoch != self._epoch
+            and not epoch_newer(packet.epoch, self._epoch)
+        ):
+            # a straggler from a producer incarnation we already left
+            # behind: obeying its schedule (or its params) would tear the
+            # speaker away from the live producer
+            self.stats.stale_controls += 1
+            return
         if packet.params != self._params:
             self._params = packet.params
             yield from self.machine.sys_ioctl(fd, AUDIO_SETINFO, packet.params)
         now = self.machine.sim.now
         if self._anchor is None:
+            self._epoch = packet.epoch
             self._anchor = (now, packet.stream_pos)
             self._playing_started = False
+        elif packet.epoch != self._epoch:
+            # producer takeover or forced restart: a new incarnation has a
+            # new schedule and a new sequence space by definition, so the
+            # drift debounce does not apply — re-anchor immediately and
+            # exactly once (the epoch comparison is what makes a second
+            # control from the same incarnation a no-op)
+            self._begin_outage_gap()
+            self._epoch = packet.epoch
+            self._anchor = (now, packet.stream_pos)
+            self._playing_started = False
+            self._reset_stream_state()
+            self.stats.resyncs += 1
+            self._c_resyncs.inc()
+            self.stats.epoch_resyncs += 1
+            self._c_epoch_resyncs.inc()
+            self.telemetry.tracer.instant(
+                "speaker.epoch_resync", track=self.name, epoch=packet.epoch,
+            )
         else:
             # §3.2: the wall clock in each control packet tells the speaker
             # whether it is playing too quickly or slowly.  Small deviations
@@ -347,11 +496,24 @@ class EthernetSpeaker:
             self.stats.waiting_dropped += 1
             self._c_waiting.inc()
             return
+        if packet.epoch != self._epoch:
+            # wrong producer incarnation: either a straggler from a dead
+            # one (its seq space would poison ours), or an early block
+            # from a new one whose control we have not seen yet — the
+            # paper's wait-for-control rule applies per epoch
+            self.stats.epoch_dropped += 1
+            self._c_epoch_dropped.inc()
+            tel.tracer.instant("speaker.epoch_drop", track=self.name,
+                               seq=packet.seq, epoch=packet.epoch)
+            return
         # -- seq-aware playout: play monotonically, drop what the wire
-        #    duplicated or delivered behind the playout point ------------------
+        #    duplicated or delivered behind the playout point.  seq is a
+        #    wrapping u32, so ordering is serial-number arithmetic: a
+        #    delta in the upper half-space means "behind us" ------------------
         gap = 0
         if self._last_seq is not None:
-            if packet.seq <= self._last_seq:
+            delta = seq_delta(packet.seq, self._last_seq)
+            if delta == 0 or delta >= SEQ_MOD // 2:
                 if packet.seq in self._recent_seqs:
                     # exact re-delivery of a block we already processed
                     self.stats.dup_dropped += 1
@@ -367,8 +529,8 @@ class EthernetSpeaker:
                     tel.tracer.instant("speaker.reorder_drop",
                                        track=self.name, seq=packet.seq)
                 return
-            if packet.seq > self._last_seq + 1:
-                gap = packet.seq - self._last_seq - 1
+            if delta > 1:
+                gap = delta - 1
                 self.stats.seq_gaps += gap
                 self._c_gaps.inc(gap)
                 tel.tracer.instant("speaker.gap", track=self.name,
@@ -427,6 +589,16 @@ class EthernetSpeaker:
                 self.stats.concealed += 1
                 self._c_concealed.inc()
         self._last_pcm = pcm
+        if self._gap_started is not None:
+            # first block committed after an outage (crash, hang, producer
+            # failover): the wall-clock hole in this speaker's write
+            # stream is the measured rejoin gap
+            rejoin_gap = machine.sim.now - self._gap_started
+            self._gap_started = None
+            self.stats.rejoin_gaps.append(rejoin_gap)
+            tel.observe("speaker.rejoin_gap", rejoin_gap)
+            tel.tracer.instant("speaker.rejoin", track=self.name,
+                               gap=rejoin_gap)
         self.stats.play_log.append((packet.play_at, machine.sim.now))
         self.stats.write_offsets.append(
             (packet.play_at, self._write_base + self._bytes_written)

@@ -20,6 +20,7 @@ glue a test harness or example script would otherwise repeat.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -29,6 +30,7 @@ from repro.audio.encodings import encode_samples
 from repro.audio.params import AudioParams, CD_QUALITY
 from repro.codec.cache import DecodeCache, DecodeCacheStats
 from repro.core.channel import ChannelConfig
+from repro.core.failover import WarmStandby
 from repro.core.rebroadcaster import Rebroadcaster
 from repro.core.speaker import EthernetSpeaker
 from repro.kernel.audio import (
@@ -46,6 +48,7 @@ from repro.metrics.telemetry import (
     PipelineReport,
     Telemetry,
 )
+from repro.mgmt.supervisor import Supervisor
 from repro.net.faults import FaultInjector
 from repro.net.monitor import BandwidthMonitor
 from repro.net.segment import EthernetSegment
@@ -127,6 +130,11 @@ class EthernetSpeakerSystem:
         self.channels: List[ChannelConfig] = []
         self.rebroadcasters: List[Rebroadcaster] = []
         self.fault_injectors: List[FaultInjector] = []
+        self.standbys: List[WarmStandby] = []
+        self.supervisors: List[Supervisor] = []
+        #: primary producer id -> standby producer nodes that must receive
+        #: a mirror of every source feed played into the primary
+        self._mirrors: Dict[int, List[ProducerNode]] = {}
         self._next_host = 1
         self._next_channel = 1
         self._next_vad = 0
@@ -255,6 +263,159 @@ class EthernetSpeakerSystem:
         self.fault_injectors.append(injector)
         return injector
 
+    def remove_faults(self, injector: Optional[FaultInjector] = None) -> int:
+        """Detach injector(s), flushing any packets still held back for
+        reordering so nothing stays parked in flight.  Returns the number
+        of flushed datagrams."""
+        injectors = [injector] if injector is not None else list(self.fault_injectors)
+        return sum(inj.detach() for inj in injectors)
+
+    # -- self-healing: standby, supervision, node faults -------------------------
+
+    def add_standby(
+        self,
+        producer: ProducerNode,
+        channel: ChannelConfig,
+        name: str = "",
+        takeover_timeout: float = 1.5,
+        check_interval: float = 0.25,
+        cpu_freq_hz: float = 500e6,
+        **rb_kwargs,
+    ) -> WarmStandby:
+        """A warm-standby producer for ``channel``.
+
+        Builds a second producer node whose VAD mirrors every source feed
+        later played into ``producer`` (call this *before* ``play_*``),
+        runs a suspended :class:`Rebroadcaster` on it, and starts the
+        :class:`~repro.core.failover.WarmStandby` watchdog that takes
+        over — with a bumped epoch — when the primary's control cadence
+        goes silent.  Registered in ``self.rebroadcasters`` so its
+        transmissions join the channel's conservation ledger.
+        """
+        name = name or f"standby{len(self.standbys)}"
+        node = self.add_producer(name=name, cpu_freq_hz=cpu_freq_hz)
+        self._mirrors.setdefault(id(producer), []).append(node)
+        rb_kwargs.setdefault("telemetry", self.telemetry)
+        rb = Rebroadcaster(node.machine, channel, **rb_kwargs)
+        self.rebroadcasters.append(rb)
+        standby = WarmStandby(
+            rb,
+            takeover_timeout=takeover_timeout,
+            check_interval=check_interval,
+            name=name,
+            telemetry=self.telemetry,
+        )
+        standby.node = node
+        standby.start()
+        self.standbys.append(standby)
+        return standby
+
+    def add_supervisor(
+        self,
+        heartbeat_interval: float = 0.5,
+        miss_threshold: int = 3,
+        restart_delay: Optional[float] = 0.5,
+        name: str = "",
+    ) -> Supervisor:
+        """A started :class:`~repro.mgmt.supervisor.Supervisor` on this
+        system's clock; register nodes with :meth:`supervise_speaker` /
+        :meth:`supervise_rebroadcaster` (or ``supervisor.watch``)."""
+        supervisor = Supervisor(
+            self.sim,
+            heartbeat_interval=heartbeat_interval,
+            miss_threshold=miss_threshold,
+            restart_delay=restart_delay,
+            name=name or f"supervisor{len(self.supervisors)}",
+            telemetry=self.telemetry,
+        )
+        supervisor.start()
+        self.supervisors.append(supervisor)
+        return supervisor
+
+    def supervise_speaker(
+        self, supervisor: Supervisor, node: SpeakerNode, name: str = "",
+    ):
+        """Heartbeat ``node`` and cold-restart it when it goes silent."""
+        speaker = node.speaker
+
+        def probe() -> bool:
+            return (
+                speaker._proc is not None
+                and speaker._proc.alive
+                and not speaker._proc.frozen
+            )
+
+        return supervisor.watch(
+            name or speaker.name, node.machine, probe,
+            restart=speaker.cold_restart,
+        )
+
+    def supervise_rebroadcaster(
+        self, supervisor: Supervisor, rb: Rebroadcaster, name: str = "",
+    ):
+        """Heartbeat a producer and restart it (epoch bumped) on silence."""
+
+        def probe() -> bool:
+            return rb.alive and not rb._proc.frozen
+
+        return supervisor.watch(
+            name or f"{rb.machine.name}/rb-ch{rb.channel.channel_id}",
+            rb.machine, probe, restart=rb.restart,
+        )
+
+    def schedule_fault(
+        self,
+        target,
+        after: float,
+        kind: str = "crash",
+        restart_after: Optional[float] = None,
+        seed: Optional[int] = None,
+        jitter: float = 0.0,
+    ) -> float:
+        """Schedule a node fault ``after`` seconds from now.
+
+        ``target`` is a :class:`SpeakerNode` (or bare speaker), a
+        :class:`Rebroadcaster`, or a :class:`WarmStandby`; ``kind`` is
+        ``"crash"`` (abrupt process death) or ``"hang"`` (wedged: stops
+        consuming its socket and servicing timers without exiting).  With
+        ``restart_after`` the matching recovery — ``cold_restart`` for
+        speakers, epoch-bumping ``restart`` for producers — fires that
+        many seconds after the fault.  ``jitter`` adds a seeded uniform
+        offset to both times, so chaos scenarios stay deterministic per
+        seed.  Returns the actual fault delay.
+        """
+        fault, recover = self._fault_actions(target, kind)
+        rng = random.Random(seed)
+        delay = after + (rng.uniform(0.0, jitter) if jitter > 0 else 0.0)
+        self.sim.schedule(delay, fault)
+        if restart_after is not None:
+            recover_delay = delay + restart_after + (
+                rng.uniform(0.0, jitter) if jitter > 0 else 0.0
+            )
+            self.sim.schedule(recover_delay, recover)
+        return delay
+
+    def _fault_actions(self, target, kind: str):
+        if kind not in ("crash", "hang"):
+            raise ValueError(f"unknown fault kind {kind!r}")
+        speaker = None
+        if isinstance(target, SpeakerNode):
+            speaker = target.speaker
+        elif isinstance(target, EthernetSpeaker):
+            speaker = target
+        if speaker is not None:
+            fault = speaker.crash if kind == "crash" else speaker.hang
+            return fault, speaker.cold_restart
+        if isinstance(target, WarmStandby):
+            fault = target.crash if kind == "crash" else (
+                lambda: target.rb.hang()
+            )
+            return fault, target.restart
+        if isinstance(target, Rebroadcaster):
+            fault = target.stop if kind == "crash" else target.hang
+            return fault, target.restart
+        raise TypeError(f"cannot inject node faults into {target!r}")
+
     # -- sources ------------------------------------------------------------------
 
     def play_pcm(
@@ -289,11 +450,15 @@ class EthernetSpeakerSystem:
         slave_path: str = "/dev/vads",
         start_after: float = 0.0,
     ) -> Process:
-        """Like :meth:`play_pcm` for pre-encoded (or synthetic) PCM bytes."""
-        machine = producer.machine
+        """Like :meth:`play_pcm` for pre-encoded (or synthetic) PCM bytes.
+
+        The same feed is mirrored into the VAD of every warm standby
+        registered for this producer (:meth:`add_standby`), so a standby
+        that takes over is already paced to the live stream position.
+        """
         chunk = params.bytes_for(chunk_seconds)
 
-        def app():
+        def app(machine):
             if start_after > 0:
                 yield Sleep(start_after)
             fd = yield from machine.sys_open(slave_path)
@@ -305,7 +470,13 @@ class EthernetSpeakerSystem:
                     yield Sleep(params.duration_of(len(piece)))
             yield from machine.sys_close(fd)
 
-        return machine.spawn(app(), name=f"{machine.name}/audio-app")
+        for mirror in self._mirrors.get(id(producer), ()):
+            mirror.machine.spawn(
+                app(mirror.machine),
+                name=f"{mirror.machine.name}/audio-app",
+            )
+        machine = producer.machine
+        return machine.spawn(app(machine), name=f"{machine.name}/audio-app")
 
     def play_synthetic(
         self,
@@ -370,14 +541,11 @@ class EthernetSpeakerSystem:
                     n.stats.reorder_dropped for n in nodes
                 ),
                 decode_failed=sum(n.stats.decode_failed for n in nodes),
+                epoch_dropped=sum(n.stats.epoch_dropped for n in nodes),
                 socket_drops=sum(
-                    n.speaker._sock.drops for n in nodes
-                    if n.speaker._sock is not None
+                    n.stats.socket_data_drops for n in nodes
                 ),
-                in_flight=sum(
-                    n.speaker._sock.queued for n in nodes
-                    if n.speaker._sock is not None
-                ),
+                in_flight=sum(n.speaker.pending_data for n in nodes),
                 suspended_blocks=suspended,
                 compression_ratio=ratio,
             ))
@@ -393,6 +561,9 @@ class EthernetSpeakerSystem:
         else:
             cache_stats = DecodeCacheStats()
 
+        all_gaps = [
+            g for n in self.speakers for g in n.stats.rejoin_gaps
+        ]
         return PipelineReport(
             duration=self.sim.now,
             latency=_snap("pipeline.e2e_latency"),
@@ -424,6 +595,21 @@ class EthernetSpeakerSystem:
             decode_cache_misses=cache_stats.misses,
             decode_cache_evictions=cache_stats.evictions,
             fanout_batch=_snap("net.fanout_batch"),
+            failovers=sum(s.stats.takeovers for s in self.standbys),
+            standdowns=sum(s.stats.standdowns for s in self.standbys),
+            takeover_latency=_snap("failover.takeover_latency"),
+            epoch_resyncs=sum(
+                n.stats.epoch_resyncs for n in self.speakers
+            ),
+            rejoins=len(all_gaps),
+            rejoin_gap=_snap("speaker.rejoin_gap"),
+            max_rejoin_gap=max(all_gaps, default=0.0),
+            missed_heartbeats=sum(
+                s.stats.missed_heartbeats for s in self.supervisors
+            ),
+            node_restarts=sum(
+                s.stats.restarts for s in self.supervisors
+            ),
             trace_events=len(tel.tracer.events),
         )
 

@@ -365,7 +365,16 @@ class ChannelReport:
     dup_dropped: int = 0
     reorder_dropped: int = 0
     decode_failed: int = 0
+    #: data from the wrong producer incarnation (also in data_received):
+    #: stragglers from a dead producer after a failover, or early blocks
+    #: from a new one whose control has not been seen yet
+    epoch_dropped: int = 0
+    #: *data* copies lost at speaker sockets (overflow while a node was
+    #: hung or slow, plus whatever was queued when it died) — classified
+    #: by packet type so control traffic never pads the data ledger
     socket_drops: int = 0
+    #: data packets still unconsumed in speaker receive queues (crashed
+    #: nodes keep their socket bound, so downtime arrivals sit here)
     in_flight: int = 0
     suspended_blocks: int = 0
     compression_ratio: float = 1.0
@@ -417,6 +426,16 @@ class PipelineReport:
     #: receivers-per-delivery-event histogram snapshot (net.fanout_batch);
     #: empty when telemetry is disabled or delivery is unbatched
     fanout_batch: dict = field(default_factory=dict)
+    #: self-healing activity (warm-standby failover + supervision layer)
+    failovers: int = 0            # warm-standby takeovers
+    standdowns: int = 0           # standbys yielding to a newer epoch
+    takeover_latency: dict = field(default_factory=dict)  # silence -> decision
+    epoch_resyncs: int = 0        # speaker re-anchors forced by epoch bumps
+    rejoins: int = 0              # playback resumptions after an outage
+    rejoin_gap: dict = field(default_factory=dict)  # histogram snapshot
+    max_rejoin_gap: float = 0.0   # worst audible hole (from speaker stats)
+    missed_heartbeats: int = 0    # supervisor scans that found a node silent
+    node_restarts: int = 0        # restarts the supervisors drove
     trace_events: int = 0
 
     @property
@@ -467,7 +486,9 @@ class PipelineReport:
         for label, snap in (("e2e latency (s)", self.latency),
                             ("arrival latency (s)", self.arrival),
                             ("jitter (s)", self.jitter),
-                            ("fanout batch (rx)", self.fanout_batch)):
+                            ("fanout batch (rx)", self.fanout_batch),
+                            ("takeover latency (s)", self.takeover_latency),
+                            ("rejoin gap (s)", self.rejoin_gap)):
             if snap:
                 lat_rows.append([
                     label, snap["count"], snap["mean"], snap["p50"],
@@ -481,12 +502,14 @@ class PipelineReport:
             ))
         parts.append(ascii_table(
             ["channel", "sent", "rx", "played", "late", "dup", "reord",
-             "undec", "sockdrop", "inflight", "residual", "ratio"],
+             "undec", "epoch", "sockdrop", "inflight", "residual",
+             "ratio"],
             [
                 [c.name, c.data_sent, c.data_received, c.played,
                  c.late_dropped, c.dup_dropped, c.reorder_dropped,
-                 c.decode_failed, c.socket_drops, c.in_flight,
-                 c.conservation_residual, c.compression_ratio]
+                 c.decode_failed, c.epoch_dropped, c.socket_drops,
+                 c.in_flight, c.conservation_residual,
+                 c.compression_ratio]
                 for c in self.channels
             ],
         ))
@@ -514,6 +537,18 @@ class PipelineReport:
                 ["decode cache evictions", self.decode_cache_evictions],
                 ["decode cache hit rate",
                  round(self.decode_cache_hit_rate, 4)],
+            ]
+        if (self.failovers or self.standdowns or self.rejoins
+                or self.missed_heartbeats or self.node_restarts
+                or self.epoch_resyncs):
+            rows += [
+                ["failovers (takeovers)", self.failovers],
+                ["standby stand-downs", self.standdowns],
+                ["epoch resyncs", self.epoch_resyncs],
+                ["rejoins", self.rejoins],
+                ["max rejoin gap (s)", round(self.max_rejoin_gap, 4)],
+                ["missed heartbeats", self.missed_heartbeats],
+                ["node restarts", self.node_restarts],
             ]
         rows += [
             ["trace events", self.trace_events],

@@ -13,15 +13,22 @@
   speaker, a manager that can walk and set it.
 * :mod:`repro.mgmt.volume` — automatic volume from ambient noise (§5.2),
   using the microphone model in :mod:`repro.audio.room`.
+* :mod:`repro.mgmt.supervisor` — the watchdog/health registry: per-node
+  heartbeats, missed-beat detection, driven restarts (the self-healing
+  layer; see docs/faults.md).
 """
 
 from repro.mgmt.catalog import CatalogAnnouncer, CatalogListener, CATALOG_GROUP, CATALOG_PORT
 from repro.mgmt.remote import ControlStation, ManagementAgent
 from repro.mgmt.remotecontrol import RemoteControl
 from repro.mgmt.snmp import MibTree, SnmpAgent, SnmpManager, ES_MIB_BASE
+from repro.mgmt.supervisor import NodeHealth, Supervisor, SupervisorStats
 from repro.mgmt.volume import AutoVolumeController
 
 __all__ = [
+    "NodeHealth",
+    "Supervisor",
+    "SupervisorStats",
     "CatalogAnnouncer",
     "CatalogListener",
     "CATALOG_GROUP",

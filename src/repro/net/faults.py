@@ -53,6 +53,7 @@ class FaultStats:
     duplicated: int = 0       # extra copies minted (one per duplication)
     reordered: int = 0        # copies held back past later traffic
     corrupted: int = 0        # copies with one payload byte flipped
+    flushed: int = 0          # parked copies force-released at detach/flush
     jitter_seconds: float = 0.0
 
 
@@ -205,6 +206,7 @@ class FaultInjector:
         self._c_dup = telemetry.counter(f"faults.duplicated[{name}]")
         self._c_reorder = telemetry.counter(f"faults.reordered[{name}]")
         self._c_corrupt = telemetry.counter(f"faults.corrupted[{name}]")
+        self._c_flushed = telemetry.counter(f"faults.flushed[{name}]")
 
     # -- attachment ---------------------------------------------------------------
 
@@ -213,6 +215,36 @@ class FaultInjector:
         link.set_fault_injector(self)
         self.links.append(link)
         return self
+
+    def detach(self, link=None) -> int:
+        """Stop interposing on ``link`` (default: every attached link).
+
+        Any copies still parked for reordering are flushed — released for
+        immediate delivery and counted in ``stats.flushed`` — so a
+        detached injector never strands packets: ``pending`` drops to
+        zero and nothing leaks into the conservation residual at
+        teardown.  Returns the number of copies flushed.
+        """
+        links = [link] if link is not None else list(self.links)
+        for item in links:
+            if item in self.links:
+                item.set_fault_injector(None)
+                self.links.remove(item)
+        return self.flush_pending()
+
+    def flush_pending(self) -> int:
+        """Release every parked copy right now; returns how many."""
+        flushed = 0
+        for nic, held in self._held.items():
+            for entry in held:
+                if not entry.released:
+                    entry.released = True
+                    flushed += 1
+                    self.sim.schedule_transient(0.0, nic.deliver, entry.dgram)
+            held.clear()
+        self.stats.flushed += flushed
+        self._c_flushed.inc(flushed)
+        return flushed
 
     @property
     def pending(self) -> int:
@@ -283,6 +315,9 @@ class FaultInjector:
         if not entry.released:
             entry.released = True
             nic.deliver(entry.dgram)
+        held = self._held.get(nic)
+        if held and entry in held:
+            held.remove(entry)
 
     def _dispatch(self, nic, dgram: Datagram, delay: float) -> None:
         self.sim.schedule(delay, nic.deliver, dgram)

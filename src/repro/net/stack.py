@@ -15,7 +15,7 @@ from repro.net.addr import is_multicast
 from repro.net.nic import Nic
 from repro.net.segment import Datagram
 from repro.sim.core import SimError, Simulator
-from repro.sim.resources import Queue
+from repro.sim.resources import Queue, QueueClosed
 
 
 @dataclass
@@ -33,6 +33,11 @@ class UdpSocket:
         self.port = port
         self._rx = Queue(capacity=rx_capacity, name=f"udp:{port}")
         self.drops = 0
+        #: optional observer called with the payload of every datagram this
+        #: socket drops (queue overflow, or still queued at close).  Lets
+        #: the owner classify losses by protocol type — the stack itself
+        #: stays protocol-agnostic.
+        self.drop_hook = None
 
     def recv(self):
         """Waitable: the next :class:`ReceivedDatagram`."""
@@ -58,11 +63,24 @@ class UdpSocket:
 
     def close(self) -> None:
         self.stack._sockets.pop(self.port, None)
+        # Datagrams still queued were delivered but never consumed: fold
+        # them into the drop counter so the conservation ledger does not
+        # leak when a receiver dies with a non-empty queue.
+        while True:
+            try:
+                item = self._rx.get_nowait()
+            except (IndexError, QueueClosed):
+                break
+            self.drops += 1
+            if self.drop_hook is not None:
+                self.drop_hook(item.payload)
         self._rx.close()
 
     def _enqueue(self, item: ReceivedDatagram) -> None:
         if not self._rx.put_nowait(item):
             self.drops += 1
+            if self.drop_hook is not None:
+                self.drop_hook(item.payload)
 
 
 class NetworkStack:
@@ -74,6 +92,10 @@ class NetworkStack:
         self._sockets: Dict[int, UdpSocket] = {}
         self._group_ports: Dict[str, set] = {}
         self._ephemeral = 49152
+        #: datagrams the NIC accepted but no bound socket claimed (e.g. a
+        #: crashed listener whose socket closed while the NIC stayed in
+        #: the multicast group) — counted so downtime loss is visible
+        self.unclaimed_drops = 0
         nic.rx_handler = self._receive
 
     @property
@@ -107,10 +129,12 @@ class NetworkStack:
     def _receive(self, dgram: Datagram) -> None:
         sock = self._sockets.get(dgram.dst_port)
         if sock is None:
+            self.unclaimed_drops += 1
             return
         if is_multicast(dgram.dst_ip):
             joined = self._group_ports.get(dgram.dst_ip, set())
             if dgram.dst_port not in joined:
+                self.unclaimed_drops += 1
                 return
         sock._enqueue(
             ReceivedDatagram(

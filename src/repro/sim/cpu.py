@@ -112,6 +112,7 @@ class CPU:
         self._last_owner = IDLE
         self._continuous = 0.0  # time the current owner has held the CPU
         self._last_busy_end = 0.0  # when the CPU last finished a slice
+        self._halted = False
 
     # -- public API ------------------------------------------------------------
 
@@ -155,6 +156,27 @@ class CPU:
     def queue_depth(self) -> int:
         return len(self._run_queue)
 
+    @property
+    def halted(self) -> bool:
+        return self._halted
+
+    def halt(self) -> None:
+        """Stop dispatching: a hung node's CPU.
+
+        The slice in flight finishes (its completion event is already
+        scheduled), but nothing further runs — submitted jobs pile up in
+        the run queue until :meth:`unhalt`.
+        """
+        self._halted = True
+
+    def unhalt(self) -> None:
+        """Resume dispatching after :meth:`halt`."""
+        if not self._halted:
+            return
+        self._halted = False
+        if self._current is None:
+            self._dispatch()
+
     # -- scheduler internals -----------------------------------------------------
 
     def _submit(self, job: _CpuJob) -> None:
@@ -163,7 +185,7 @@ class CPU:
             self._dispatch()
 
     def _dispatch(self) -> None:
-        if not self._run_queue:
+        if self._halted or not self._run_queue:
             return
         # Run-until-block semantics: the owner that just ran keeps the CPU
         # if it has more work queued, up to one quantum of continuous time.

@@ -140,6 +140,8 @@ class Process:
         self._kill_pending = False
         self._timeout_guard: Optional[Timeout] = None
         self._current_wait: Optional[Waitable] = None
+        self.frozen = False
+        self._frozen_step: Optional[tuple] = None
 
     @classmethod
     def spawn(
@@ -179,6 +181,12 @@ class Process:
     def _step(self, value: Any, exc: Optional[BaseException]) -> None:
         global _current
         if not self.alive:
+            return
+        if self.frozen:
+            # Hung process: whatever woke it is parked until thaw().  Only
+            # one wake-up can be outstanding (the generator had exactly one
+            # armed waitable), so a single slot suffices.
+            self._frozen_step = (value, exc)
             return
         if self._kill_pending:
             exc, value = ProcessKilled(), None
@@ -240,15 +248,48 @@ class Process:
 
     # -- public control ------------------------------------------------------
 
+    def freeze(self) -> None:
+        """Hang the process: it stops consuming CPU and servicing timers.
+
+        The generator is never stepped while frozen — timers and queue
+        deliveries that would have resumed it are parked and land on
+        :meth:`thaw`.  Unlike :meth:`kill` the generator stays alive, so
+        this models a wedged-but-not-exited process (spinning on a lock,
+        swapped out, stuck in a driver).
+        """
+        if self.alive:
+            self.frozen = True
+
+    def thaw(self) -> None:
+        """Undo :meth:`freeze`; a parked wake-up is delivered immediately."""
+        if not self.frozen:
+            return
+        self.frozen = False
+        if self._frozen_step is not None:
+            value, exc = self._frozen_step
+            self._frozen_step = None
+            self.sim.schedule_transient(0.0, self._step, value, exc)
+
     def kill(self) -> None:
         """Terminate the process at its current yield point.
 
         A :class:`ProcessKilled` is thrown into the generator so ``finally``
         blocks run.  If the process is waiting on something that cannot be
         disarmed (a CPU slice in flight), the kill lands when it resumes.
+        Killing a frozen process works: the freeze is lifted so the kill
+        can be delivered.
         """
         if not self.alive:
             return
+        if self.frozen:
+            self.frozen = False
+            if self._frozen_step is not None:
+                # a wake-up is already parked: replace it with the kill
+                self._frozen_step = None
+                self.sim.schedule_transient(
+                    0.0, self._step, None, ProcessKilled()
+                )
+                return
         wait = self._current_wait
         if wait is None:
             # Either never started or a step is already scheduled;

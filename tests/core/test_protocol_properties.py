@@ -188,5 +188,5 @@ def test_valid_header_random_body_never_leaks(body: bytes, data):
     """Worst case for the sub-parsers: a well-formed common header so the
     type dispatch succeeds, followed by arbitrary bytes."""
     ptype = data.draw(st.integers(min_value=0, max_value=255))
-    header = _COMMON.pack(0xE55A, 1, ptype, 1, 1)
+    header = _COMMON.pack(0xE55A, 1, ptype, 1, 1, 0)
     _parse_or_protocol_error(header + body)

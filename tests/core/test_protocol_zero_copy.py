@@ -43,7 +43,7 @@ def reference_parse(data):
     data = bytes(data)
     if len(data) < _COMMON.size:
         raise ProtocolError("short packet")
-    magic, version, ptype, channel_id, seq = _COMMON.unpack(
+    magic, version, ptype, channel_id, seq, epoch = _COMMON.unpack(
         data[: _COMMON.size]
     )
     if magic != MAGIC:
@@ -53,17 +53,17 @@ def reference_parse(data):
     body = data[_COMMON.size :]
     try:
         if ptype == TYPE_CONTROL:
-            return _ref_control(channel_id, seq, body)
+            return _ref_control(channel_id, seq, epoch, body)
         if ptype == TYPE_DATA:
-            return _ref_data(channel_id, seq, body)
+            return _ref_data(channel_id, seq, epoch, body)
         if ptype == TYPE_ANNOUNCE:
-            return _ref_announce(seq, body)
+            return _ref_announce(seq, epoch, body)
     except (struct.error, ValueError, IndexError) as err:
         raise ProtocolError(f"malformed packet: {err}") from None
     raise ProtocolError(f"unknown packet type {ptype}")
 
 
-def _ref_control(channel_id, seq, body):
+def _ref_control(channel_id, seq, epoch, body):
     (wall_clock, stream_pos, enc, rate, channels, codec, quality) = (
         _CONTROL.unpack(body[: _CONTROL.size])
     )
@@ -82,10 +82,11 @@ def _ref_control(channel_id, seq, body):
         codec_id=CodecID(codec),
         quality=quality,
         name=rest[1 : 1 + name_len].decode("utf-8"),
+        epoch=epoch,
     )
 
 
-def _ref_data(channel_id, seq, body):
+def _ref_data(channel_id, seq, epoch, body):
     play_at, codec, flags, pcm_bytes = _DATA.unpack(body[: _DATA.size])
     return DataPacket(
         channel_id=channel_id,
@@ -95,10 +96,11 @@ def _ref_data(channel_id, seq, body):
         codec_id=CodecID(codec),
         synthetic=bool(flags & 0x01),
         pcm_bytes=pcm_bytes,
+        epoch=epoch,
     )
 
 
-def _ref_announce(seq, body):
+def _ref_announce(seq, epoch, body):
     if not body:
         raise ProtocolError("missing announce entry count")
     count = body[0]
@@ -125,7 +127,7 @@ def _ref_announce(seq, body):
                 name=name,
             )
         )
-    return AnnouncePacket(seq=seq, entries=tuple(entries))
+    return AnnouncePacket(seq=seq, entries=tuple(entries), epoch=epoch)
 
 
 def assert_parsers_agree(data):
@@ -153,6 +155,10 @@ def sample_packets():
         DataPacket(1, 7, 3.25, b"\x01\x02\x03" * 100,
                    CodecID.VORBIS_LIKE, False, 300),
         DataPacket(2, 8, 0.0, b"", CodecID.RAW, True, 4096),
+        DataPacket(2, 2, 7.5, b"\x7f" * 32, CodecID.RAW, False, 32,
+                   epoch=3),
+        ControlPacket(2, 1, 9.0, 8.0, params, CodecID.RAW, 10, "standby",
+                      epoch=65535),
         AnnouncePacket(5, (
             AnnounceEntry(1, "239.192.0.1", 5001, CodecID.VORBIS_LIKE,
                           "news"),

@@ -1,0 +1,187 @@
+"""The seq-aware playout window under wraparound and epoch changes.
+
+``seq`` is a wrapping u32 and the duplicate window is a bounded
+128-entry set, so three things have to stay true at the edges:
+
+* a stream crossing ``2**32 - 1 -> 0`` is *one* stream — no spurious
+  gap, no reorder drops;
+* the window still tells exact duplicates from stale reordered copies
+  after the wrap;
+* an epoch change opens a fresh sequence space: stragglers from the old
+  producer incarnation must not be confused with (or poison) the new
+  one, and the new incarnation may legitimately reuse the very same
+  sequence numbers.
+
+Plus the failover regression: a new-epoch control with a wildly shifted
+schedule re-anchors exactly once, even though the drift debounce would
+have parked or double-triggered on the same shift within an epoch.
+"""
+
+import pytest
+
+from repro.audio import AudioEncoding, AudioParams
+from repro.codec.base import CodecID
+from repro.core import EthernetSpeakerSystem
+from repro.core.protocol import SEQ_MOD, ControlPacket, DataPacket
+from repro.kernel.machine import Machine
+
+LOW = AudioParams(AudioEncoding.SLINEAR16, 8000, 1)
+BLOCK_SEC = 0.02
+BLOCK = LOW.bytes_for(BLOCK_SEC)
+
+
+def build(rx_buffer_packets=256):
+    system = EthernetSpeakerSystem()
+    channel = system.add_channel("ch", params=LOW, compress="never")
+    node = system.add_speaker(
+        channel=channel, rx_buffer_packets=rx_buffer_packets
+    )
+    sender = Machine(system.sim, "tx", cpu_freq_hz=500e6)
+    sender.attach_network(system.lan, "10.9.0.1")
+    sock = sender.net.socket()
+
+    def send(delay, packet):
+        system.sim.schedule(
+            delay, sock.sendto, packet.encode(),
+            (channel.group_ip, channel.port),
+        )
+
+    return system, channel, node, send
+
+
+def control(channel, seq, wall, pos, epoch=0):
+    return ControlPacket(
+        channel_id=channel.channel_id, seq=seq, wall_clock=wall,
+        stream_pos=pos, params=LOW, codec_id=CodecID.RAW,
+        quality=10, name=channel.name, epoch=epoch,
+    )
+
+
+def data(channel, seq, play_at, epoch=0, fill=0x11):
+    return DataPacket(
+        channel_id=channel.channel_id, seq=seq, play_at=play_at,
+        payload=bytes([fill]) * BLOCK, codec_id=CodecID.RAW,
+        synthetic=False, pcm_bytes=BLOCK, epoch=epoch,
+    )
+
+
+def test_seq_wraparound_is_one_continuous_stream():
+    system, channel, node, send = build()
+    send(0.05, control(channel, 1, 0.05, 0.0))
+    seqs = [SEQ_MOD - 2, SEQ_MOD - 1, 0, 1, 2]
+    for k, seq in enumerate(seqs):
+        send(0.1 + k * BLOCK_SEC, data(channel, seq, k * BLOCK_SEC))
+    system.run(until=3.0)
+    st = node.stats
+    assert st.played == 5
+    assert st.seq_gaps == 0
+    assert st.reorder_dropped == 0
+    assert st.dup_dropped == 0
+
+
+def test_window_classifies_dups_and_stale_across_wrap():
+    system, channel, node, send = build()
+    send(0.05, control(channel, 1, 0.05, 0.0))
+    seqs = [SEQ_MOD - 2, SEQ_MOD - 1, 0, 1, 2]
+    for k, seq in enumerate(seqs):
+        send(0.1 + k * BLOCK_SEC, data(channel, seq, k * BLOCK_SEC))
+    # re-deliveries from both sides of the wrap: all in the window
+    send(0.5, data(channel, SEQ_MOD - 1, 1 * BLOCK_SEC))
+    send(0.52, data(channel, 1, 3 * BLOCK_SEC))
+    system.run(until=3.0)
+    st = node.stats
+    assert st.played == 5
+    assert st.dup_dropped == 2
+    assert st.reorder_dropped == 0
+
+
+def test_window_eviction_demotes_ancient_dup_to_stale():
+    # the window keeps the last 128 accepted seqs: a copy older than
+    # that can no longer be proven a duplicate and is dropped as stale
+    window = 128
+    n = window + 5
+    system, channel, node, send = build(rx_buffer_packets=2 * n)
+    send(0.05, control(channel, 1, 0.05, 0.0))
+    for k in range(n):
+        send(0.1 + k * BLOCK_SEC, data(channel, k + 1, k * BLOCK_SEC))
+    t_after = 0.1 + n * BLOCK_SEC + 0.2
+    send(t_after, data(channel, 1, 0.0))          # evicted: stale
+    send(t_after + 0.02, data(channel, n, (n - 1) * BLOCK_SEC))  # dup
+    system.run(until=10.0)
+    st = node.stats
+    assert st.played == n
+    assert st.reorder_dropped == 1
+    assert st.dup_dropped == 1
+
+
+def test_old_epoch_stragglers_cannot_poison_new_epoch():
+    system, channel, node, send = build()
+    # epoch 0: anchor + five blocks
+    send(0.05, control(channel, 1, 0.05, 0.0, epoch=0))
+    for k in range(5):
+        send(0.1 + k * BLOCK_SEC,
+             data(channel, k + 1, k * BLOCK_SEC, epoch=0))
+    # failover: epoch 1 anchors a new schedule...
+    send(1.0, control(channel, 1, 1.0, 1.0, epoch=1))
+    # ...while stragglers from the dead epoch-0 producer are still on
+    # the wire, *including seq numbers the new epoch will reuse*
+    send(1.05, data(channel, 3, 2 * BLOCK_SEC, epoch=0, fill=0x33))
+    send(1.06, data(channel, 1, 0.0, epoch=0, fill=0x33))
+    # epoch 1 legitimately reuses seqs 1..5 with its own schedule
+    for k in range(5):
+        send(1.1 + k * BLOCK_SEC,
+             data(channel, k + 1, 1.0 + k * BLOCK_SEC, epoch=1))
+    system.run(until=5.0)
+    st = node.stats
+    assert st.epoch_resyncs == 1
+    assert st.epoch_dropped == 2      # the stragglers, classified
+    assert st.dup_dropped == 0        # NOT mistaken for duplicates
+    assert st.reorder_dropped == 0    # NOT mistaken for stale copies
+    assert st.played == 10            # both incarnations in full
+
+
+def test_stale_epoch_control_does_not_reanchor():
+    system, channel, node, send = build()
+    send(0.05, control(channel, 1, 0.05, 0.0, epoch=1))
+    for k in range(3):
+        send(0.1 + k * BLOCK_SEC,
+             data(channel, k + 1, k * BLOCK_SEC, epoch=1))
+    # a delayed control from the long-dead epoch 0, with a schedule that
+    # would tear the speaker off the live anchor if obeyed
+    send(0.5, control(channel, 9, 0.5, 40.0, epoch=0))
+    send(0.6, data(channel, 4, 0.25, epoch=1))
+    system.run(until=3.0)
+    st = node.stats
+    assert st.stale_controls == 1
+    assert st.resyncs == 0
+    assert st.played == 4
+
+
+def test_epoch_shift_reanchors_exactly_once():
+    """Satellite regression: a large schedule shift delivered *with* an
+    epoch bump (producer crash/restart) re-anchors immediately and
+    exactly once — repeated controls from the new incarnation are
+    schedule-consistent no-ops, not a second resync."""
+    system, channel, node, send = build()
+    send(0.05, control(channel, 1, 0.05, 0.0, epoch=0))
+    for k in range(3):
+        send(0.1 + k * BLOCK_SEC,
+             data(channel, k + 1, k * BLOCK_SEC, epoch=0))
+    # restart: epoch 1 with a schedule shifted far beyond the debounce
+    # window (stream_pos jumps by 30 s) — two controls in a row, as a
+    # real producer emits them at its control interval
+    send(1.0, control(channel, 1, 1.0, 30.0, epoch=1))
+    send(1.5, control(channel, 2, 1.5, 30.5, epoch=1))
+    for k in range(3):
+        send(1.1 + k * BLOCK_SEC,
+             data(channel, k + 1, 30.0 + k * BLOCK_SEC, epoch=1))
+    system.run(until=5.0)
+    st = node.stats
+    assert st.epoch_resyncs == 1
+    assert st.resyncs == 1            # the epoch re-anchor, nothing else
+    assert st.played == 6
+    # exactly one measured outage gap spans the handover: from the last
+    # epoch-0 commit (~0.5) to the first epoch-1 commit (its playout
+    # deadline, ~1.4)
+    assert len(st.rejoin_gaps) == 1
+    assert 0.7 < st.rejoin_gaps[0] < 1.2

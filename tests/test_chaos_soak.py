@@ -1,0 +1,153 @@
+"""Chaos soak: node crashes composed with wire faults, many seeds.
+
+Every scenario in the matrix — crash the primary producer, crash a
+speaker, crash both, each with and without the PR 2 wire fault injector
+running — must end the same way:
+
+* **playback resumes** on every speaker before the stream ends;
+* the **silence gap is bounded**: takeover timeout (or the restart
+  delay) plus control cadence, watchdog granularity, and one playout
+  buffer of depth — never an unbounded outage;
+* the **conservation ledger closes** across the epoch boundary, wire
+  faults itemised;
+* the whole run is **deterministic per seed** — two executions of the
+  same scenario produce bit-identical playout logs.
+
+Set ``CHAOS_SOAK_REPORT=<path>`` to dump a per-scenario JSON report of
+the measured rejoin gaps (the CI ``chaos-soak`` job uploads it as an
+artifact).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.audio import AudioEncoding, AudioParams
+from repro.core import EthernetSpeakerSystem
+
+LOW = AudioParams(AudioEncoding.SLINEAR16, 8000, 1)
+
+CONTROL_IVL = 0.5
+TAKEOVER = 1.0
+CHECK = 0.2
+SPEAKER_RESTART = 1.0
+DURATION = 14.0
+HORIZON = 13.5      # stay inside the live stream (controls stop with it)
+CRASH_PRIMARY_AT = 4.0
+CRASH_SPEAKER_AT = 5.0
+
+#: worst admissible silence per fault class: decision latency + one
+#: control interval to re-anchor (doubled under wire loss) + playout
+#: buffering + scheduling margin
+PLAYOUT = 0.400
+JITTER = 0.3
+GAP_BOUND = {
+    "primary": TAKEOVER + CHECK + 2 * CONTROL_IVL + PLAYOUT + 0.25,
+    "speaker": SPEAKER_RESTART + 2 * CONTROL_IVL + PLAYOUT + 0.25,
+    # overlapping outages compound: a speaker that died while the
+    # channel was already silent stays quiet from the *primary's* crash
+    # until its own restart has re-anchored
+    "both": (CRASH_SPEAKER_AT - CRASH_PRIMARY_AT) + 2 * JITTER
+            + SPEAKER_RESTART + 2 * CONTROL_IVL + PLAYOUT + 0.25,
+}
+
+MODES = ("primary", "speaker", "both")
+SEEDS = (1, 2, 3, 4)
+SCENARIOS = [
+    (mode, wire, seed)
+    for mode in MODES for wire in (False, True) for seed in SEEDS
+]
+assert len(SCENARIOS) >= 20
+
+_report_rows = []
+
+
+def run_scenario(mode, wire, seed):
+    system = EthernetSpeakerSystem(seed=seed)
+    producer = system.add_producer()
+    channel = system.add_channel("soak", params=LOW, compress="never")
+    rb = system.add_rebroadcaster(
+        producer, channel, control_interval=CONTROL_IVL
+    )
+    standby = system.add_standby(
+        producer, channel, takeover_timeout=TAKEOVER, check_interval=CHECK,
+        control_interval=CONTROL_IVL,
+    )
+    nodes = [system.add_speaker(channel=channel) for _ in range(3)]
+    if wire:
+        system.inject_faults(
+            loss_rate=0.02, burst_length=3.0, duplicate_rate=0.01,
+            reorder_rate=0.02, reorder_window=4, seed=seed,
+        )
+    system.play_synthetic(producer, DURATION, LOW)
+    if mode in ("primary", "both"):
+        system.schedule_fault(rb, after=CRASH_PRIMARY_AT, kind="crash",
+                              seed=seed, jitter=0.3)
+    if mode in ("speaker", "both"):
+        system.schedule_fault(nodes[0], after=CRASH_SPEAKER_AT,
+                              kind="crash", restart_after=SPEAKER_RESTART,
+                              seed=seed + 100, jitter=0.3)
+    system.run(until=HORIZON)
+    return system, standby, nodes
+
+
+@pytest.mark.parametrize("mode,wire,seed", SCENARIOS)
+def test_chaos_scenario(mode, wire, seed):
+    system, standby, nodes = run_scenario(mode, wire, seed)
+    gaps = []
+    for node in nodes:
+        st = node.stats
+        # playback always resumes, well after the last fault
+        assert st.play_log, f"{node.speaker.name} never played"
+        assert st.play_log[-1][1] > CRASH_SPEAKER_AT + 4.0
+        gaps.extend(st.rejoin_gaps)
+    if mode in ("primary", "both"):
+        assert standby.stats.takeovers == 1
+        # a speaker that was down across the takeover first-anchors on
+        # the new epoch from cold instead of resyncing — both are one
+        # re-anchor, never two
+        survivors = nodes[1:] if mode == "both" else nodes
+        for node in survivors:
+            assert node.stats.epoch_resyncs == 1
+        assert nodes[0].stats.epoch_resyncs <= 1
+    if mode in ("speaker", "both"):
+        assert len(nodes[0].stats.rejoin_gaps) >= 1
+    bound = GAP_BOUND[mode]
+    for gap in gaps:
+        assert gap <= bound, f"gap {gap:.3f}s exceeds bound {bound:.3f}s"
+    report = system.pipeline_report()
+    assert report.conservation_ok, (
+        f"ledger open: residual={report.conservation_residual}"
+    )
+    _report_rows.append({
+        "mode": mode, "wire_faults": wire, "seed": seed,
+        "rejoin_gaps": [round(g, 6) for g in gaps],
+        "max_gap": round(max(gaps, default=0.0), 6),
+        "bound": round(bound, 6),
+        "takeovers": standby.stats.takeovers,
+        "conservation_residual": report.conservation_residual,
+    })
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_chaos_is_deterministic(mode):
+    """Bit-identical post-takeover playout across two runs of the same
+    seeded scenario — the acceptance bar for reproducible chaos."""
+
+    def fingerprint():
+        _, standby, nodes = run_scenario(mode, wire=True, seed=2)
+        return (
+            [tuple(n.stats.play_log) for n in nodes],
+            [tuple(n.stats.rejoin_gaps) for n in nodes],
+            standby.stats.takeover_latencies,
+        )
+
+    assert fingerprint() == fingerprint()
+
+
+def teardown_module(module):
+    path = os.environ.get("CHAOS_SOAK_REPORT")
+    if path and _report_rows:
+        with open(path, "w") as fh:
+            json.dump({"scenarios": _report_rows}, fh, indent=2)

@@ -50,3 +50,10 @@ def test_secure_streaming():
     assert "digest: True" in out
     assert "HORS signatures" in out
     assert "per-packet PKI" in out
+
+
+def test_failover_demo():
+    out = run_example("failover_demo.py")
+    assert "standby takeovers: 1" in out
+    assert "epoch 1" in out
+    assert "conservation across the epoch boundary: closed" in out
