@@ -18,6 +18,7 @@ deployment (LAN + producer + speakers) in a few lines; see
 """
 
 from repro.core.channel import ChannelConfig
+from repro.core.cohort import CohortMember, SpeakerCohort
 from repro.core.failover import FailoverStats, WarmStandby
 from repro.core.protocol import (
     AnnouncePacket,
@@ -46,6 +47,8 @@ __all__ = [
     "Rebroadcaster",
     "EthernetSpeaker",
     "EthernetSpeakerSystem",
+    "SpeakerCohort",
+    "CohortMember",
     "WarmStandby",
     "FailoverStats",
 ]

@@ -218,6 +218,21 @@ class EthernetSpeaker:
         )
         return self._proc
 
+    def start_resumed(self, sock, fd) -> Process:
+        """Enter the receive loop mid-session on a pre-built socket/fd.
+
+        Used when a cohort member spills out of the vectorized array into
+        a per-object speaker: the tune-in work (socket bind, group join,
+        sys_open) already happened — and was already paid for — in the
+        member's shared past, so the clone resumes directly in
+        :meth:`_serve` with the carried state.
+        """
+        self._sock = sock
+        self._proc = self.machine.spawn(
+            self._serve(sock, fd), name=f"{self.machine.name}/es"
+        )
+        return self._proc
+
     def stop(self) -> None:
         if self._proc is not None:
             self._proc.kill()
@@ -292,8 +307,13 @@ class EthernetSpeaker:
         self.machine.cpu.unhalt()
         if self._proc is not None and self._proc.alive:
             self._proc.kill()  # its finally closes the socket (counted)
-        elif self._sock is not None:
-            # crash wreck: drain + classify what queued up, free the port
+        if self._sock is not None:
+            # close now rather than relying on the kill's finally: a
+            # process frozen before its first step (a cohort clone hung
+            # at the spill instant) has no try block to unwind, and for a
+            # crash wreck there is no process at all.  close() drains +
+            # classifies what queued up and is idempotent, so the paths
+            # that do reach the finally agree with this one.
             self._sock.close()
         self._sock = None
         self._crashed = False
@@ -327,43 +347,78 @@ class EthernetSpeaker:
 
     # -- the receive loop -----------------------------------------------------------
 
-    def _run(self):
-        machine = self.machine
-        sock = machine.net.socket(self.port, rx_capacity=self.rx_buffer_packets)
+    def _open_socket(self):
+        """Bind the receive socket and join the channel group.
+
+        Split out of :meth:`_run` so a cohort exemplar can substitute an
+        offer-tracking socket while keeping the tune-in sequence (and its
+        cost model) byte-identical.
+        """
+        sock = self.machine.net.socket(
+            self.port, rx_capacity=self.rx_buffer_packets
+        )
         sock.join_multicast(self.group_ip)
         sock.drop_hook = self._classify_drop
         self._sock = sock
-        fd = yield from machine.sys_open(self.audio_path)
+        return sock
+
+    def _run(self):
+        sock = self._open_socket()
+        fd = yield from self.machine.sys_open(self.audio_path)
+        yield from self._serve(sock, fd)
+
+    def _serve(self, sock, fd):
         try:
             while True:
                 msg = yield sock.recv()
-                wire = msg.payload
-                if self.verifier is not None:
-                    yield machine.cpu.run(
-                        self.verifier.verify_cycles(len(wire)), domain="user"
-                    )
-                    wire = self.verifier.unwrap(wire)
-                    if wire is None:
-                        self.stats.auth_rejected += 1
-                        continue
-                try:
-                    packet = parse_packet(wire)
-                except ProtocolError:
-                    self.stats.garbage_rx += 1
-                    self._c_garbage.inc()
-                    continue
-                if isinstance(packet, ControlPacket):
-                    yield from self._handle_control(fd, packet)
-                elif isinstance(packet, DataPacket):
-                    yield from self._handle_data(fd, packet)
+                self._note_packet_start(msg)
+                yield from self._process_packet(fd, msg)
+                self._packet_boundary()
         except ProcessKilled:
             raise
         finally:
-            if not self._crashed:
+            if not self._crashed and self._sock is sock:
                 sock.close()
             # a crashed node's socket stays bound: the NIC keeps receiving
             # and the classified drop counter keeps the ledger closed
-            # until cold_restart() disposes of the wreck
+            # until cold_restart() disposes of the wreck.  The identity
+            # check matters when a kill cannot land at its yield point (a
+            # CPU slice in flight cannot be disarmed): by the time the
+            # ProcessKilled arrives, cold_restart() may already have
+            # closed this socket and bound a successor on the same port —
+            # closing here would silently unregister the live socket.
+
+    def _process_packet(self, fd, msg):
+        machine = self.machine
+        wire = msg.payload
+        if self.verifier is not None:
+            yield machine.cpu.run(
+                self.verifier.verify_cycles(len(wire)), domain="user"
+            )
+            wire = self.verifier.unwrap(wire)
+            if wire is None:
+                self.stats.auth_rejected += 1
+                return
+        try:
+            packet = parse_packet(wire)
+        except ProtocolError:
+            self.stats.garbage_rx += 1
+            self._c_garbage.inc()
+            return
+        if isinstance(packet, ControlPacket):
+            yield from self._handle_control(fd, packet)
+        elif isinstance(packet, DataPacket):
+            yield from self._handle_data(fd, packet)
+
+    # cohort hooks: a SpeakerCohort exemplar overrides these to run its
+    # spill checks before a packet is consumed and to fold each packet's
+    # effects into the member arrays afterwards.  No-ops on a plain node.
+
+    def _note_packet_start(self, msg) -> None:
+        pass
+
+    def _packet_boundary(self) -> None:
+        pass
 
     def _classify_drop(self, payload) -> None:
         """Socket drop observer: count the *data* copies this node lost

@@ -30,6 +30,7 @@ from repro.audio.encodings import encode_samples
 from repro.audio.params import AudioParams, CD_QUALITY
 from repro.codec.cache import DecodeCache, DecodeCacheStats
 from repro.core.channel import ChannelConfig
+from repro.core.cohort import CohortMember, SpeakerCohort
 from repro.core.failover import WarmStandby
 from repro.core.rebroadcaster import Rebroadcaster
 from repro.core.speaker import EthernetSpeaker
@@ -75,6 +76,64 @@ class SpeakerNode:
         return self.speaker.stats
 
 
+class _CompatMember:
+    """Per-object stand-in for a :class:`CohortMember` (``cohort=False``).
+
+    Exposes the same member-facing surface — ``stats``, ``sink``,
+    ``crash``/``hang``/``unhang``/``cold_restart`` — over an ordinary
+    :class:`SpeakerNode`, so differential tests drive both fleets with
+    one code path.
+    """
+
+    def __init__(self, node: SpeakerNode):
+        self.node = node
+
+    @property
+    def speaker(self) -> EthernetSpeaker:
+        return self.node.speaker
+
+    @property
+    def stats(self):
+        return self.node.speaker.stats
+
+    @property
+    def sink(self) -> SpeakerSink:
+        return self.node.sink
+
+    def crash(self) -> None:
+        self.node.speaker.crash()
+
+    def hang(self) -> None:
+        self.node.speaker.hang()
+
+    def unhang(self) -> None:
+        self.node.speaker.unhang()
+
+    def cold_restart(self) -> None:
+        self.node.speaker.cold_restart()
+
+
+class _CompatCohort:
+    """N ordinary speakers behind the cohort member API."""
+
+    def __init__(self, nodes: List[SpeakerNode], channel: ChannelConfig):
+        self.nodes = nodes
+        self.channel = channel
+        self.members = len(nodes)
+        self.spills = 0
+        self.events_saved = 0
+        self.tokens = [_CompatMember(n) for n in nodes]
+
+    def member_stats(self, i: int):
+        return self.nodes[i].speaker.stats
+
+    def member_play_log(self, i: int):
+        return self.nodes[i].speaker.stats.play_log
+
+    def member_write_offsets(self, i: int):
+        return self.nodes[i].speaker.stats.write_offsets
+
+
 class EthernetSpeakerSystem:
     """One LAN, its producer(s), channels, and Ethernet Speakers."""
 
@@ -89,6 +148,7 @@ class EthernetSpeakerSystem:
         shared_decode: bool = True,
         decode_cache_entries: int = 256,
         batched_delivery: bool = True,
+        cohort: bool = True,
     ):
         self.sim = Simulator()
         # telemetry: False/None -> disabled (near-zero overhead), True ->
@@ -125,8 +185,13 @@ class EthernetSpeakerSystem:
         )
         self.monitor = BandwidthMonitor(self.sim, self.lan,
                                         telemetry=telemetry)
+        #: ``add_speaker_cohort`` builds vectorized ``SpeakerCohort``s when
+        #: True; when False it expands to ordinary per-object speakers with
+        #: the same member-facing API (the differential baseline)
+        self.cohort = cohort
         self.producers: List[ProducerNode] = []
         self.speakers: List[SpeakerNode] = []
+        self.cohorts: List[SpeakerCohort] = []
         self.channels: List[ChannelConfig] = []
         self.rebroadcasters: List[Rebroadcaster] = []
         self.fault_injectors: List[FaultInjector] = []
@@ -242,6 +307,48 @@ class EthernetSpeakerSystem:
         )
         self.speakers.append(node)
         return node
+
+    def add_speaker_cohort(
+        self,
+        channel: ChannelConfig,
+        members: int,
+        name: str = "",
+        cpu_freq_hz: float = 233e6,
+        block_seconds: float = 0.065,
+        vlan: int = 1,
+        **speaker_kwargs,
+    ):
+        """``members`` identical unity-gain speakers on ``channel``.
+
+        With the system's ``cohort=True`` default this costs one real
+        exemplar speaker plus numpy member rows and **one** delivery
+        event per frame (see :class:`~repro.core.cohort.SpeakerCohort`);
+        members that draw a divergent fate spill into full per-object
+        speakers mid-stream.  With ``cohort=False`` it expands into
+        ordinary :meth:`add_speaker` nodes behind the same member API —
+        the per-object baseline the differential harness races.
+        """
+        name = name or f"cohort{len(self.cohorts)}"
+        if not self.cohort:
+            nodes = [
+                self.add_speaker(
+                    channel=channel, name=f"{name}-m{i}",
+                    cpu_freq_hz=cpu_freq_hz, block_seconds=block_seconds,
+                    vlan=vlan, **dict(speaker_kwargs),
+                )
+                for i in range(members)
+            ]
+            return _CompatCohort(nodes, channel)
+        cohort = SpeakerCohort(
+            self.sim, self.lan, members, channel.group_ip, channel.port,
+            ip=self._next_ip(), vlan=vlan, cpu_freq_hz=cpu_freq_hz,
+            block_seconds=block_seconds, speaker_kwargs=speaker_kwargs,
+            name=name, telemetry=self.telemetry,
+            decode_cache=self.decode_cache,
+        )
+        cohort.channel = channel
+        self.cohorts.append(cohort)
+        return cohort
 
     def inject_faults(self, link=None, name: str = "", **fault_kwargs
                       ) -> FaultInjector:
@@ -398,6 +505,9 @@ class EthernetSpeakerSystem:
     def _fault_actions(self, target, kind: str):
         if kind not in ("crash", "hang"):
             raise ValueError(f"unknown fault kind {kind!r}")
+        if isinstance(target, (CohortMember, _CompatMember)):
+            fault = target.crash if kind == "crash" else target.hang
+            return fault, target.cold_restart
         speaker = None
         if isinstance(target, SpeakerNode):
             speaker = target.speaker
@@ -511,8 +621,18 @@ class EthernetSpeakerSystem:
             rbs = [rb for rb in self.rebroadcasters
                    if rb.channel is channel]
             nodes = [n for n in self.speakers if n.channel is channel]
-            if not rbs and not nodes:
+            cohorts = [c for c in self.cohorts if c.channel is channel]
+            if not rbs and not nodes and not cohorts:
                 continue
+
+            def _members(field: str) -> int:
+                """Sum a SpeakerStats counter over per-object nodes and
+                every cohort member on this channel."""
+                return (
+                    sum(getattr(n.stats, field) for n in nodes)
+                    + sum(c.stat_sum(field) for c in cohorts)
+                )
+
             raw = sum(rb.stats.raw_bytes for rb in rbs)
             sent_bytes = sum(rb.stats.sent_payload_bytes for rb in rbs)
             suspended = sum(rb.stats.suspended_blocks for rb in rbs)
@@ -528,24 +648,23 @@ class EthernetSpeakerSystem:
             channels.append(ChannelReport(
                 name=channel.name,
                 channel_id=channel.channel_id,
-                speakers=len(nodes),
+                speakers=len(nodes) + sum(c.members for c in cohorts),
                 data_sent=sum(rb.stats.data_sent for rb in rbs),
                 control_sent=sum(rb.stats.control_sent for rb in rbs),
                 send_failures=data_failures,
-                data_received=sum(n.stats.data_rx for n in nodes),
-                played=sum(n.stats.played for n in nodes),
-                late_dropped=sum(n.stats.late_dropped for n in nodes),
-                waiting_dropped=sum(n.stats.waiting_dropped for n in nodes),
-                dup_dropped=sum(n.stats.dup_dropped for n in nodes),
-                reorder_dropped=sum(
-                    n.stats.reorder_dropped for n in nodes
+                data_received=_members("data_rx"),
+                played=_members("played"),
+                late_dropped=_members("late_dropped"),
+                waiting_dropped=_members("waiting_dropped"),
+                dup_dropped=_members("dup_dropped"),
+                reorder_dropped=_members("reorder_dropped"),
+                decode_failed=_members("decode_failed"),
+                epoch_dropped=_members("epoch_dropped"),
+                socket_drops=_members("socket_data_drops"),
+                in_flight=(
+                    sum(n.speaker.pending_data for n in nodes)
+                    + sum(c.pending_data() for c in cohorts)
                 ),
-                decode_failed=sum(n.stats.decode_failed for n in nodes),
-                epoch_dropped=sum(n.stats.epoch_dropped for n in nodes),
-                socket_drops=sum(
-                    n.stats.socket_data_drops for n in nodes
-                ),
-                in_flight=sum(n.speaker.pending_data for n in nodes),
                 suspended_blocks=suspended,
                 compression_ratio=ratio,
             ))
@@ -564,14 +683,21 @@ class EthernetSpeakerSystem:
         all_gaps = [
             g for n in self.speakers for g in n.stats.rejoin_gaps
         ]
+        for c in self.cohorts:
+            for i in range(c.members):
+                all_gaps.extend(c.member_stats(i).rejoin_gaps)
         return PipelineReport(
             duration=self.sim.now,
             latency=_snap("pipeline.e2e_latency"),
             arrival=_snap("pipeline.arrival_latency"),
             jitter=_snap("pipeline.jitter"),
-            underruns=sum(n.device.underruns for n in self.speakers),
-            silence_seconds=sum(
-                n.sink.silence_seconds for n in self.speakers
+            underruns=(
+                sum(n.device.underruns for n in self.speakers)
+                + sum(c.underruns() for c in self.cohorts)
+            ),
+            silence_seconds=(
+                sum(n.sink.silence_seconds for n in self.speakers)
+                + sum(c.silence_seconds() for c in self.cohorts)
             ),
             channels=channels,
             wire_drops=self.lan.stats.frames_dropped,
@@ -598,8 +724,9 @@ class EthernetSpeakerSystem:
             failovers=sum(s.stats.takeovers for s in self.standbys),
             standdowns=sum(s.stats.standdowns for s in self.standbys),
             takeover_latency=_snap("failover.takeover_latency"),
-            epoch_resyncs=sum(
-                n.stats.epoch_resyncs for n in self.speakers
+            epoch_resyncs=(
+                sum(n.stats.epoch_resyncs for n in self.speakers)
+                + sum(c.stat_sum("epoch_resyncs") for c in self.cohorts)
             ),
             rejoins=len(all_gaps),
             rejoin_gap=_snap("speaker.rejoin_gap"),
@@ -609,6 +736,11 @@ class EthernetSpeakerSystem:
             ),
             node_restarts=sum(
                 s.stats.restarts for s in self.supervisors
+            ),
+            cohort_members=sum(c.members for c in self.cohorts),
+            cohort_spills=sum(c.spills for c in self.cohorts),
+            cohort_events_saved=sum(
+                c.events_saved for c in self.cohorts
             ),
             trace_events=len(tel.tracer.events),
         )

@@ -121,6 +121,23 @@ class Machine:
         self._fds[fd] = _OpenFile(device, handle, path)
         return fd
 
+    def open_direct(self, path: str, flags: str = "rw") -> int:
+        """Install an fd for ``path`` with no syscall charge.
+
+        Used when cloning a cohort member into a per-object speaker
+        mid-stream: the member's per-object twin paid ``sys_open`` once
+        at tune-in, long before the spill, so re-charging the trap here
+        would skew the clone's timeline away from bit-identity.
+        """
+        device = self.devices.get(path)
+        if device is None:
+            raise DeviceError(f"{self.name}: no such device {path}")
+        handle = device.open(self, flags)
+        fd = self._next_fd
+        self._next_fd += 1
+        self._fds[fd] = _OpenFile(device, handle, path)
+        return fd
+
     def sys_write(self, fd: int, data: bytes):
         """Write to an fd; blocks as the driver dictates; returns count."""
         entry = self._lookup(fd)

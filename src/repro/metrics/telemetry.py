@@ -436,6 +436,10 @@ class PipelineReport:
     max_rejoin_gap: float = 0.0   # worst audible hole (from speaker stats)
     missed_heartbeats: int = 0    # supervisor scans that found a node silent
     node_restarts: int = 0        # restarts the supervisors drove
+    #: vectorized speaker cohorts (repro.core.cohort.SpeakerCohort)
+    cohort_members: int = 0       # receivers represented by cohort rows
+    cohort_spills: int = 0        # members materialised as full speakers
+    cohort_events_saved: int = 0  # delivery events one exemplar stood in for
     trace_events: int = 0
 
     @property
@@ -549,6 +553,12 @@ class PipelineReport:
                 ["max rejoin gap (s)", round(self.max_rejoin_gap, 4)],
                 ["missed heartbeats", self.missed_heartbeats],
                 ["node restarts", self.node_restarts],
+            ]
+        if self.cohort_members:
+            rows += [
+                ["cohort members", self.cohort_members],
+                ["cohort spills", self.cohort_spills],
+                ["cohort events saved", self.cohort_events_saved],
             ]
         rows += [
             ["trace events", self.trace_events],

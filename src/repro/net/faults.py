@@ -260,17 +260,30 @@ class FaultInjector:
         """Decide the fate of one receiver copy and schedule what
         survives.  Called by the link in place of its own
         ``sim.schedule(delay, nic.deliver, dgram)``."""
+        if self._copy_fate(nic, dgram, delay) == "clean":
+            self._dispatch(nic, dgram, delay)
+
+    def _copy_fate(self, nic, dgram: Datagram, delay: float) -> str:
+        """Draw one receiver copy's fate; the RNG sequence is exactly
+        :meth:`deliver`'s, which is what lets a cohort run the loop per
+        member token and stay draw-for-draw identical to a per-object
+        fleet.  Returns ``"lost"`` (nothing survives), ``"handled"``
+        (divergent copies were scheduled or parked in here), or
+        ``"clean"`` — exactly one unjittered, uncorrupted, unheld copy at
+        the base delay, whose dispatch the *caller* owns (a plain link
+        dispatches it; a cohort folds it into the shared delivery)."""
         self.stats.offered += 1
         rng = self._rng
         if self.loss_rate and self._chain(nic).lose():
             self.stats.lost += 1
             self._c_lost.inc()
-            return
+            return "lost"
         copies = 1
         if self.duplicate_rate and rng.random() < self.duplicate_rate:
             copies = 2
             self.stats.duplicated += 1
             self._c_dup.inc()
+        clean = False
         for i in range(copies):
             copy = dgram
             if self.corrupt_rate and rng.random() < self.corrupt_rate:
@@ -288,8 +301,30 @@ class FaultInjector:
                 and rng.random() < self.reorder_rate
             ):
                 self._hold(nic, copy, copy_delay)
+            elif (
+                copies == 1 and copy is dgram and copy_delay == delay
+                and not self._held.get(nic)
+            ):
+                clean = True
             else:
                 self._dispatch(nic, copy, copy_delay)
+        return "clean" if clean else "handled"
+
+    def deliver_cohort(self, cohort, dgram: Datagram, delay: float) -> None:
+        """Per-member fates for a whole cohort, one shared delivery for
+        the aligned survivors.  Member tokens are the chain/hold keys, so
+        burst phase and parked copies follow a member across its spill."""
+        represented = 0
+        for tok in cohort.tokens:
+            if tok.state == 0:  # ALIGNED
+                fate = self._copy_fate(tok, dgram, delay)
+                if fate == "clean":
+                    represented += 1
+                else:
+                    cohort.mark_divergent(tok, dgram, reason=fate)
+            else:
+                self.deliver(tok, dgram, delay)
+        cohort.finish_frame(dgram, delay, represented)
 
     # -- mechanics ----------------------------------------------------------------
 

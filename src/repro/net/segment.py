@@ -162,6 +162,10 @@ class EthernetSegment:
             for nic in self._nics:
                 if nic is sender or not nic.accepts(dgram):
                     continue
+                cohort = getattr(nic, "cohort", None)
+                if cohort is not None:
+                    self._transmit_cohort(cohort, dgram, base_delay, 0.0)
+                    continue
                 if self.loss_rate and self._rng.random() < self.loss_rate:
                     self.stats.receiver_losses += 1
                     continue
@@ -185,6 +189,10 @@ class EthernetSegment:
                 continue
             if not nic.accepts(dgram):
                 continue
+            cohort = getattr(nic, "cohort", None)
+            if cohort is not None:
+                self._transmit_cohort(cohort, dgram, base_delay, self.jitter)
+                continue
             if self.loss_rate and self._rng.random() < self.loss_rate:
                 self.stats.receiver_losses += 1
                 continue
@@ -196,6 +204,46 @@ class EthernetSegment:
             else:
                 self.sim.schedule_transient(delay, nic.deliver, dgram)
         return True
+
+    def _transmit_cohort(self, cohort, dgram: Datagram, base_delay: float,
+                         jitter: float) -> None:
+        """The per-member fate loop a cohort's LAN seat stands in for.
+
+        Draw order per member is byte-identical to the per-object loop
+        above (segment loss, then segment jitter, then the injector), so
+        a seeded cohort run and a per-object run consume the wire RNG in
+        the same sequence.  Members whose copy comes out clean share one
+        delivery event via ``finish_frame``; any other outcome diverges
+        the member and spills it at the exemplar's next boundary.
+        """
+        represented = 0
+        for tok in cohort.tokens:
+            if self.loss_rate and self._rng.random() < self.loss_rate:
+                self.stats.receiver_losses += 1
+                if tok.state == 0:
+                    cohort.mark_divergent(tok, dgram, reason="wire-loss")
+                continue
+            delay = base_delay
+            if jitter:
+                delay += self._rng.uniform(0.0, jitter)
+            if self.faults is not None:
+                if tok.state == 0 and delay == base_delay:
+                    fate = self.faults._copy_fate(tok, dgram, delay)
+                    if fate == "clean":
+                        represented += 1
+                    else:
+                        cohort.mark_divergent(tok, dgram, reason=fate)
+                else:
+                    if tok.state == 0:
+                        cohort.mark_divergent(tok, dgram, reason="jitter")
+                    self.faults.deliver(tok, dgram, delay)
+            elif tok.state == 0 and delay == base_delay:
+                represented += 1
+            else:
+                if tok.state == 0:
+                    cohort.mark_divergent(tok, dgram, reason="jitter")
+                self.sim.schedule_transient(delay, tok.deliver, dgram)
+        cohort.finish_frame(dgram, base_delay, represented)
 
     @property
     def utilisation_bps(self) -> float:

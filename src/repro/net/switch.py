@@ -156,6 +156,15 @@ class SwitchedSegment:
                 self.stats.per_port_bytes_out.get(nic.name, 0)
                 + dgram.wire_size
             )
+            cohort = getattr(nic, "cohort", None)
+            if cohort is not None:
+                # the cohort's port: one egress serialisation (it is one
+                # drop cable), then the per-member fate loop in the same
+                # draw order the per-object loop below uses
+                delay = out_done - now + self.latency
+                self._forward_cohort(cohort, dgram, delay)
+                delivered_any = True
+                continue
             if self.loss_rate and self._rng.random() < self.loss_rate:
                 self.stats.receiver_losses += 1
                 continue
@@ -180,6 +189,39 @@ class SwitchedSegment:
                 tel.observe("net.fanout_batch", len(nics),
                             bounds=FANOUT_BOUNDS)
         return delivered_any or not receivers
+
+    def _forward_cohort(self, cohort, dgram: Datagram, base_delay: float
+                        ) -> None:
+        """Per-member copy fates for a cohort port (see
+        ``EthernetSegment._transmit_cohort`` for the ordering contract)."""
+        represented = 0
+        for tok in cohort.tokens:
+            if self.loss_rate and self._rng.random() < self.loss_rate:
+                self.stats.receiver_losses += 1
+                if tok.state == 0:
+                    cohort.mark_divergent(tok, dgram, reason="wire-loss")
+                continue
+            delay = base_delay
+            if self.jitter:
+                delay += self._rng.uniform(0.0, self.jitter)
+            if self.faults is not None:
+                if tok.state == 0 and delay == base_delay:
+                    fate = self.faults._copy_fate(tok, dgram, delay)
+                    if fate == "clean":
+                        represented += 1
+                    else:
+                        cohort.mark_divergent(tok, dgram, reason=fate)
+                else:
+                    if tok.state == 0:
+                        cohort.mark_divergent(tok, dgram, reason="jitter")
+                    self.faults.deliver(tok, dgram, delay)
+            elif tok.state == 0 and delay == base_delay:
+                represented += 1
+            else:
+                if tok.state == 0:
+                    cohort.mark_divergent(tok, dgram, reason="jitter")
+                self.sim.schedule_transient(delay, tok.deliver, dgram)
+        cohort.finish_frame(dgram, base_delay, represented)
 
     # -- forwarding decision ------------------------------------------------------
 

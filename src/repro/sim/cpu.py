@@ -112,6 +112,7 @@ class CPU:
         self._last_owner = IDLE
         self._continuous = 0.0  # time the current owner has held the CPU
         self._last_busy_end = 0.0  # when the CPU last finished a slice
+        self._slice_end_at = 0.0  # when the slice in flight will complete
         self._halted = False
 
     # -- public API ------------------------------------------------------------
@@ -225,6 +226,10 @@ class CPU:
         quantum_cycles = self.quantum * self.freq_hz
         slice_cycles = min(quantum_cycles, job.remaining)
         slice_time = slice_cycles / self.freq_hz
+        # Recorded so a cohort spill can replicate the slice in flight on
+        # the clone's CPU: without it the clone would dispatch its next
+        # job a slice early and drift off the per-object timeline.
+        self._slice_end_at = self.sim.now + overhead + slice_time
         self.sim.schedule_transient(
             overhead + slice_time, self._slice_done, job, slice_cycles
         )

@@ -1,0 +1,157 @@
+"""Property tests: the vectorized seq/dup window is the scalar one, N-wide.
+
+``VectorSeqWindows`` re-implements ``EthernetSpeaker``'s per-stream
+triple — the 128-entry recent-seq ring (``_recent_seqs`` +
+``_recent_order``) and ``_last_seq`` — as numpy rows so a cohort can
+advance thousands of members per delivered frame.  A spilling member's
+scalar carry (``extract``) must reproduce the deque a per-object speaker
+would have held, byte for byte, across u32 wraparound, window eviction,
+and the epoch-bump reset.
+
+The reference below is a literal transcription of the scalar code.
+Random drives use hypothesis when it is installed and fall back to
+seeded sweeps otherwise, so the property holds in either environment;
+the deterministic cases mirror ``tests/core/test_seq_window.py``.
+"""
+
+import random
+from collections import deque
+
+import numpy as np
+
+from repro.core.cohort import VectorSeqWindows
+from repro.core.protocol import SEQ_MOD
+from repro.core.speaker import EthernetSpeaker
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - CI has hypothesis
+    HAVE_HYPOTHESIS = False
+
+WINDOW = EthernetSpeaker.RECENT_SEQ_WINDOW
+
+
+class ScalarWindow:
+    """The exact deque + set + last_seq triple ``EthernetSpeaker`` keeps
+    (see ``_remember_seq`` / ``_reset_stream_state``)."""
+
+    def __init__(self):
+        self.recent = set()
+        self.order = deque()
+        self.last = None
+
+    def accept(self, seq):
+        self.last = seq
+        self.recent.add(seq)
+        self.order.append(seq)
+        if len(self.order) > WINDOW:
+            self.recent.discard(self.order.popleft())
+
+    def reset(self):
+        self.recent.clear()
+        self.order.clear()
+        self.last = None
+
+
+def assert_rows_match(vec, refs):
+    for i, ref in enumerate(refs):
+        last, order = vec.extract(i)
+        assert last == ref.last, f"row {i} last_seq"
+        assert order == list(ref.order), f"row {i} ring order"
+        # membership probes: everything in the window is seen, a seq
+        # right outside it is not
+        for seq in list(ref.order)[:: max(1, len(ref.order) // 8)]:
+            assert bool(vec.seen(np.array([i]), seq)[0])
+        probe = (ref.last + 7) % SEQ_MOD if ref.last is not None else 13
+        assert bool(vec.seen(np.array([i]), probe)[0]) == (probe in ref.recent)
+
+
+def drive(ops, members):
+    """Apply (kind, row_mask, seq) ops to both implementations and
+    compare after every step."""
+    vec = VectorSeqWindows(members, WINDOW)
+    refs = [ScalarWindow() for _ in range(members)]
+    for kind, mask, seq in ops:
+        rows = np.asarray(mask, dtype=bool)
+        if kind == "accept":
+            vec.accept(rows, seq)
+            for i in range(members):
+                if mask[i]:
+                    refs[i].accept(seq)
+        else:
+            vec.reset(rows)
+            for i in range(members):
+                if mask[i]:
+                    refs[i].reset()
+    assert_rows_match(vec, refs)
+    return vec, refs
+
+
+def random_ops(rng, members, n_ops):
+    """A drive mixing in-order runs, wraparound neighborhoods, and
+    occasional epoch resets on row subsets."""
+    ops = []
+    seq = rng.choice([0, 1, SEQ_MOD - WINDOW - 3, SEQ_MOD - 2])
+    for _ in range(n_ops):
+        mask = [rng.random() < 0.8 for _ in range(members)]
+        if not any(mask):
+            mask[rng.randrange(members)] = True
+        if rng.random() < 0.06:
+            ops.append(("reset", mask, 0))
+            continue
+        ops.append(("accept", mask, seq))
+        seq = (seq + rng.choice([1, 1, 1, 2, 5])) % SEQ_MOD
+    return ops
+
+
+def test_in_order_run_matches_scalar():
+    ops = [("accept", [True] * 4, s) for s in range(1, 2 * WINDOW)]
+    drive(ops, members=4)
+
+
+def test_wraparound_is_one_continuous_stream():
+    seqs = [SEQ_MOD - 2, SEQ_MOD - 1, 0, 1, 2]
+    vec, refs = drive([("accept", [True] * 3, s) for s in seqs], members=3)
+    rows = np.arange(3)
+    for s in seqs:
+        assert vec.seen(rows, s).all()
+    assert vec.extract(0) == (2, seqs)
+
+
+def test_eviction_forgets_exactly_the_oldest():
+    n = WINDOW + 5
+    ops = [("accept", [True], s + 1) for s in range(n)]
+    vec, refs = drive(ops, members=1)
+    row = np.array([0])
+    for evicted in range(1, 6):
+        assert not vec.seen(row, evicted)[0]
+    for kept in range(6, n + 1):
+        assert vec.seen(row, kept)[0]
+
+
+def test_epoch_reset_clears_only_selected_rows():
+    ops = [("accept", [True, True], s) for s in (5, 6, 7)]
+    ops.append(("reset", [True, False], 0))
+    ops += [("accept", [True, True], s) for s in (5, 6)]
+    vec, refs = drive(ops, members=2)
+    assert vec.extract(0) == (6, [5, 6])
+    assert vec.extract(1) == (6, [5, 6, 7, 5, 6])
+
+
+def test_seeded_sweeps_match_scalar():
+    for seed in range(8):
+        rng = random.Random(seed)
+        members = rng.randrange(1, 7)
+        drive(random_ops(rng, members, rng.randrange(20, 400)), members)
+
+
+if HAVE_HYPOTHESIS:
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), members=st.integers(1, 6),
+           n_ops=st.integers(1, 300))
+    def test_property_vector_equals_scalar(seed, members, n_ops):
+        rng = random.Random(seed)
+        drive(random_ops(rng, members, n_ops), members)

@@ -7,6 +7,8 @@ one-byte corruption, and the injector-level conservation law
 ``offered == delivered - duplicated + lost`` at quiescence.
 """
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
 
@@ -308,6 +310,93 @@ def test_flush_after_timeout_release_is_a_noop():
     assert inj.pending == 0
     assert inj.flush_pending() == 0
     assert sorted(rx.ids()) == list(range(10))
+
+
+class StubToken:
+    """A cohort member token as the injector sees it: a state flag and a
+    NIC-shaped ``deliver`` (pre-spill it would buffer; here it records)."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.state = 0  # ALIGNED
+        self.got = []
+
+    def deliver(self, dgram):
+        self.got.append((self.sim.now, dgram))
+
+
+class StubCohort:
+    """Just enough cohort surface for ``deliver_cohort``."""
+
+    def __init__(self, sim, members):
+        self.tokens = [StubToken(sim) for _ in range(members)]
+        self.frames = []
+
+    def mark_divergent(self, tok, dgram, reason):
+        tok.state = 1  # PENDING
+
+    def finish_frame(self, dgram, delay, represented):
+        self.frames.append((dgram, delay, represented))
+
+
+def test_detach_mid_cohort_batch_flushes_holds_exactly_once():
+    """Detaching while member copies sit parked for reordering releases
+    each held copy to its member token exactly once — no copy stranded,
+    none double-delivered, and the loss/reorder counters untouched by
+    the flush (a flushed copy is not a second drop)."""
+    sim = Simulator()
+    inj = FaultInjector(sim, reorder_rate=0.4, reorder_window=8,
+                        reorder_hold=60.0, seed=6)
+    cohort = StubCohort(sim, members=5)
+    for i in range(12):
+        sim.schedule(i * 0.01, inj.deliver_cohort, cohort,
+                     make_dgram(i), 0.001)
+    sim.run(until=0.2)
+    st_before = replace(inj.stats)
+    parked = inj.pending
+    assert parked > 0
+    flushed = inj.detach()
+    assert flushed == parked
+    assert inj.pending == 0
+    sim.run()
+    st = inj.stats
+    # the flush is accounted once, as a flush — not as extra offers,
+    # losses, or reorders on top of the ones already drawn
+    assert st.flushed == flushed
+    assert st.offered == st_before.offered
+    assert st.lost == st_before.lost
+    assert st.reordered == st_before.reordered
+    # every member copy that survived the fate draw reached its token
+    # exactly once: offered copies minus losses, per token
+    delivered = sum(len(t.got) for t in cohort.tokens)
+    shared = sum(r for _, _, r in cohort.frames)
+    assert delivered + shared == st.offered + st.duplicated - st.lost
+    for tok in cohort.tokens:
+        seen = [d.payload for _, d in tok.got]
+        assert len(seen) == len(set(seen)), "a flushed copy arrived twice"
+
+
+def test_hold_timer_after_detach_flush_is_a_noop_for_member_holds():
+    """The reorder-hold safety valve fires after the detach flush has
+    already released a member's parked copy; it must not deliver (or
+    count) that copy a second time."""
+    sim = Simulator()
+    inj = FaultInjector(sim, reorder_rate=0.999, reorder_window=8,
+                        reorder_hold=0.3, seed=6)
+    cohort = StubCohort(sim, members=2)
+    for i in range(6):
+        sim.schedule(i * 0.01, inj.deliver_cohort, cohort,
+                     make_dgram(i), 0.001)
+    sim.run(until=0.1)
+    parked = inj.pending
+    assert parked > 0
+    assert inj.detach() == parked
+    sim.run()  # hold timers all expire now
+    assert inj.pending == 0
+    assert inj.stats.flushed == parked
+    for tok in cohort.tokens:
+        seen = [d.payload for _, d in tok.got]
+        assert len(seen) == len(set(seen))
 
 
 def test_detach_stops_interposition_on_the_link():
