@@ -19,7 +19,7 @@ deployment (LAN + producer + speakers) in a few lines; see
 
 from repro.core.channel import ChannelConfig
 from repro.core.cohort import CohortMember, SpeakerCohort
-from repro.core.failover import FailoverStats, WarmStandby
+from repro.core.failover import CadenceMonitor, FailoverStats, WarmStandby
 from repro.core.protocol import (
     AnnouncePacket,
     ControlPacket,
@@ -32,7 +32,7 @@ from repro.core.protocol import (
 from repro.core.ratelimiter import RateLimiter
 from repro.core.rebroadcaster import Rebroadcaster
 from repro.core.speaker import EthernetSpeaker
-from repro.core.system import EthernetSpeakerSystem
+from repro.core.system import EthernetSpeakerSystem, LeafLan
 
 __all__ = [
     "ChannelConfig",
@@ -51,4 +51,6 @@ __all__ = [
     "CohortMember",
     "WarmStandby",
     "FailoverStats",
+    "CadenceMonitor",
+    "LeafLan",
 ]

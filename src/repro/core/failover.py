@@ -53,6 +53,45 @@ class FailoverStats:
     takeover_latencies: List[float] = field(default_factory=list)
 
 
+class CadenceMonitor:
+    """Liveness inferred from a packet cadence: silence means death.
+
+    The protocol already broadcasts control packets at a fixed interval,
+    so every downstream component can detect an upstream failure the
+    same way — remember when traffic was last heard and call it dead
+    once the silence exceeds ``timeout``.  Used by :class:`WarmStandby`
+    (control cadence on the channel's multicast group) and by the WAN
+    relay tree (uplink cadence at each :class:`~repro.net.wan.RelayNode`).
+
+    A monitor only **arms** once traffic has been heard at all: a source
+    that never transmitted is idle, not dead.
+    """
+
+    def __init__(self, timeout: float):
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        self.timeout = timeout
+        self.last_heard = float("-inf")
+        self.armed = False
+
+    def heard(self, now: float) -> None:
+        self.last_heard = now
+        self.armed = True
+
+    def silence(self, now: float) -> float:
+        """Seconds since traffic was last heard."""
+        return now - self.last_heard
+
+    def silent(self, now: float) -> bool:
+        """True once an armed monitor has outwaited ``timeout``."""
+        return self.armed and self.silence(now) >= self.timeout
+
+    def reset(self) -> None:
+        """Cold start: forget everything, disarm."""
+        self.last_heard = float("-inf")
+        self.armed = False
+
+
 class WarmStandby:
     """A suspended producer plus the watchdog that activates it.
 
@@ -98,11 +137,11 @@ class WarmStandby:
         self._c_standdowns = tel.counter(f"failover.standdowns[{name}]")
         self._proc: Optional[Process] = None
         self._sock = None
-        self._last_control = float("-inf")
+        #: the watchdog's memory — only arms once the primary has been
+        #: heard at all (a channel that never transmitted is idle, not
+        #: dead)
+        self._cadence = CadenceMonitor(takeover_timeout)
         self._seen_epoch: Optional[int] = None
-        #: only arm the watchdog once the primary has been heard at all:
-        #: a channel that never transmitted is idle, not dead
-        self._armed = False
 
     def start(self) -> "WarmStandby":
         """Start the suspended producer and the watchdog process."""
@@ -131,8 +170,7 @@ class WarmStandby:
             self.rb._proc.kill()
         self.active = False
         self.rb._proc = None
-        self._armed = False
-        self._last_control = float("-inf")
+        self._cadence.reset()
         return self.start()
 
     # -- the watchdog ---------------------------------------------------------
@@ -172,8 +210,7 @@ class WarmStandby:
         # excludes the sender), so any control seen here is another
         # producer talking on our channel
         self.stats.controls_seen += 1
-        self._last_control = self.machine.sim.now
-        self._armed = True
+        self._cadence.heard(self.machine.sim.now)
         if self._seen_epoch is None or epoch_newer(
             packet.epoch, self._seen_epoch
         ):
@@ -182,12 +219,12 @@ class WarmStandby:
             self._stand_down(packet.epoch)
 
     def _maybe_take_over(self) -> None:
-        if self.active or not self._armed:
+        if self.active:
             return
         now = self.machine.sim.now
-        silence = now - self._last_control
-        if silence < self.takeover_timeout:
+        if not self._cadence.silent(now):
             return
+        silence = self._cadence.silence(now)
         candidate = ((self._seen_epoch if self._seen_epoch is not None
                       else self.rb.epoch) + 1) % EPOCH_MOD
         if not epoch_newer(candidate, self.rb.epoch):

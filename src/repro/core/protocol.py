@@ -311,6 +311,43 @@ def peek_type(data) -> Optional[int]:
     return ptype
 
 
+def peek_header(data) -> Optional[Tuple[int, int, int, int]]:
+    """``(type, channel_id, seq, epoch)`` if ``data`` starts like one of
+    ours, else None.
+
+    The tandem-free relay forwarding path: a WAN relay classifies and
+    routes a wire packet from the common header alone — constant cost,
+    zero copies, no payload decode (§6 keeps WAN pathologies out of the
+    LAN protocol; the relay tree keeps them out of the *codec* too).
+    """
+    if len(data) < _COMMON.size:
+        return None
+    magic, version, ptype, channel_id, seq, epoch = _COMMON.unpack_from(
+        data, 0
+    )
+    if magic != MAGIC or version != VERSION:
+        return None
+    return ptype, channel_id, seq, epoch
+
+
+#: byte offset of the u16 epoch inside ``_COMMON`` ("<HBBHIH": magic@0,
+#: version@2, type@3, channel_id@4, seq@6, epoch@10)
+_EPOCH_OFFSET = 10
+_EPOCH_FIELD = struct.Struct("<H")
+
+
+def restamp_epoch(wire, epoch: int) -> bytes:
+    """A copy of ``wire`` with the common-header epoch replaced.
+
+    Relays that interposed a fallback incarnation map upstream epochs
+    into their own serial-16 space on the way down; the payload — and
+    everything else in the packet — passes through untouched.
+    """
+    buf = bytearray(wire)
+    _EPOCH_FIELD.pack_into(buf, _EPOCH_OFFSET, epoch % EPOCH_MOD)
+    return bytes(buf)
+
+
 # -- serial-number arithmetic (RFC 1982 style) --------------------------------
 
 SEQ_MOD = 1 << 32     # data/control ``seq`` is a wrapping u32

@@ -112,6 +112,9 @@ class Rebroadcaster:
         self._ctl_seq = 0
         self._need_control = False
         self._last_control = float("-inf")
+        #: WAN relay-tree taps: every wire packet (control and data) is
+        #: teed here before LAN transmission — see :meth:`add_wan_tap`
+        self._wan_taps: list = []
 
     def start(self) -> Process:
         """Spawn the producer process on its machine."""
@@ -320,8 +323,21 @@ class Rebroadcaster:
         self.stats.control_sent += 1
         self._c_ctl.inc()
 
+    def add_wan_tap(self, tap) -> None:
+        """Tee every outgoing wire packet to ``tap(wire)`` — the origin
+        of a WAN relay tree (see :mod:`repro.net.wan`).
+
+        The tap sees exactly the protocol bytes the LAN sees, *before*
+        any MACsec-style authentication wrap (each LAN secures its own
+        segment), so relays can forward them tandem-free — the payload
+        is never decoded again until a speaker plays it.
+        """
+        self._wan_taps.append(tap)
+
     def _send(self, sock, wire: bytes):
         machine = self.machine
+        for tap in self._wan_taps:
+            tap(wire)
         if self.authenticator is not None:
             yield machine.cpu.run(
                 self.authenticator.sign_cycles(len(wire)), domain="user"

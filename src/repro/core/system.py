@@ -70,10 +70,26 @@ class SpeakerNode:
     sink: SpeakerSink
     device: AudioDevice
     channel: Optional[ChannelConfig] = None
+    #: the segment this speaker listens on (the system LAN, or a relay
+    #: tree leaf LAN)
+    lan: Optional[EthernetSegment] = None
 
     @property
     def stats(self):
         return self.speaker.stats
+
+
+@dataclass
+class LeafLan:
+    """A LAN segment at the bottom of the WAN relay tree: the relay's
+    gateway host re-multicasts one channel onto it, and speakers attach
+    with ``add_speaker(channel, lan=leaf)``."""
+
+    segment: EthernetSegment
+    machine: Machine           # the relay's LAN gateway host
+    relay: RelayNode
+    channel: ChannelConfig
+    name: str = ""
 
 
 class _CompatMember:
@@ -183,6 +199,11 @@ class EthernetSpeakerSystem:
             seed=seed,
             batch_delivery=batched_delivery,
         )
+        self._seed = seed
+        self._batched_delivery = batched_delivery
+        #: every segment on this system — the main LAN plus relay-tree
+        #: leaf LANs; wire accounting in ``pipeline_report`` sums them
+        self.lans: List[EthernetSegment] = [self.lan]
         self.monitor = BandwidthMonitor(self.sim, self.lan,
                                         telemetry=telemetry)
         #: ``add_speaker_cohort`` builds vectorized ``SpeakerCohort``s when
@@ -197,6 +218,9 @@ class EthernetSpeakerSystem:
         self.fault_injectors: List[FaultInjector] = []
         self.standbys: List[WarmStandby] = []
         self.supervisors: List[Supervisor] = []
+        self.relays: List[RelayNode] = []
+        self.wan_hops: List[WanHop] = []
+        self.leaf_lans: List[LeafLan] = []
         #: primary producer id -> standby producer nodes that must receive
         #: a mirror of every source feed played into the primary
         self._mirrors: Dict[int, List[ProducerNode]] = {}
@@ -279,12 +303,19 @@ class EthernetSpeakerSystem:
         housekeeping: bool = False,
         start: bool = True,
         dac_drift_ppm: float = 0.0,
+        lan=None,
         **speaker_kwargs,
     ) -> SpeakerNode:
-        """An Ethernet Speaker machine (EON 4000-class by default)."""
+        """An Ethernet Speaker machine (EON 4000-class by default).
+
+        ``lan`` attaches the speaker to another segment — a
+        :class:`LeafLan` from :meth:`add_leaf_lan` or a raw
+        :class:`EthernetSegment` — instead of the system LAN.
+        """
+        segment = self._segment_of(lan)
         name = name or f"es{len(self.speakers)}"
         machine = Machine(self.sim, name, cpu_freq_hz=cpu_freq_hz)
-        machine.attach_network(self.lan, self._next_ip(), vlan=vlan)
+        machine.attach_network(segment, self._next_ip(), vlan=vlan)
         sink = SpeakerSink(name=f"{name}/speaker")
         hw = HardwareAudioDriver(machine, sink, drift_ppm=dac_drift_ppm)
         device = AudioDevice(machine, hw, block_seconds=block_seconds,
@@ -303,10 +334,15 @@ class EthernetSpeakerSystem:
             speaker.start()
         node = SpeakerNode(
             machine=machine, speaker=speaker, sink=sink, device=device,
-            channel=channel,
+            channel=channel, lan=segment,
         )
         self.speakers.append(node)
         return node
+
+    def _segment_of(self, lan) -> EthernetSegment:
+        if lan is None:
+            return self.lan
+        return getattr(lan, "segment", lan)
 
     def add_speaker_cohort(
         self,
@@ -376,6 +412,129 @@ class EthernetSpeakerSystem:
         of flushed datagrams."""
         injectors = [injector] if injector is not None else list(self.fault_injectors)
         return sum(inj.detach() for inj in injectors)
+
+    # -- the WAN relay tree ------------------------------------------------------
+
+    def add_relay(
+        self,
+        parent,
+        name: str = "",
+        fallback: bool = False,
+        fallback_timeout: float = 1.5,
+        check_interval: float = 0.25,
+        control_interval: float = 1.0,
+        nack: bool = False,
+        retransmit_buffer: int = 64,
+        nack_delay: Optional[float] = None,
+        recover_timeout: Optional[float] = None,
+        bandwidth_bps: float = 20e6,
+        latency: float = 0.040,
+        jitter: float = 0.0,
+        loss_rate: float = 0.0,
+        wan_seed: Optional[int] = None,
+    ) -> RelayNode:
+        """A WAN relay fed by ``parent`` over a fresh uplink hop.
+
+        ``parent`` is the origin :class:`Rebroadcaster` (the packets are
+        teed off its send path, tandem-free) or another
+        :class:`~repro.net.wan.RelayNode` one tier up.  The hop's WAN
+        profile (``bandwidth_bps``/``latency``/``jitter``/``loss_rate``)
+        is per-hop; ``nack=True`` adds the bounded NACK-retransmission
+        layer, ``fallback=True`` arms the local filler source.
+        """
+        # imported here, not at module top: repro.net.wan reaches back
+        # into repro.core during the circular package bootstrap
+        from repro.net.wan import RelayNode, WanHop, WanLink
+
+        name = name or f"relay{len(self.relays)}"
+        relay = RelayNode(
+            self.sim, name=name, fallback=fallback,
+            fallback_timeout=fallback_timeout,
+            check_interval=check_interval,
+            control_interval=control_interval,
+            telemetry=self.telemetry,
+        )
+        link = WanLink(
+            self.sim, bandwidth_bps=bandwidth_bps, latency=latency,
+            jitter=jitter, loss_rate=loss_rate,
+            seed=(wan_seed if wan_seed is not None
+                  else self._seed + 101 + len(self.wan_hops)),
+            name=f"wan:{name}", telemetry=self.telemetry,
+        )
+        hop = WanHop(
+            link, relay.ingest, nack=nack,
+            retransmit_buffer=retransmit_buffer, nack_delay=nack_delay,
+            recover_timeout=recover_timeout, name=f"hop:{name}",
+        )
+        hop.child = relay
+        relay.uplink = hop
+        if isinstance(parent, Rebroadcaster):
+            parent.add_wan_tap(hop.send)
+        elif isinstance(parent, RelayNode):
+            parent.add_downlink(hop)
+        else:
+            raise TypeError(
+                f"relay parent must be a Rebroadcaster or RelayNode, "
+                f"not {parent!r}"
+            )
+        self.relays.append(relay)
+        self.wan_hops.append(hop)
+        return relay
+
+    def add_leaf_lan(
+        self,
+        relay: RelayNode,
+        channel: ChannelConfig,
+        name: str = "",
+        bandwidth_bps: float = 100e6,
+        latency: float = 50e-6,
+        jitter: float = 0.0,
+        loss_rate: float = 0.0,
+        seed: Optional[int] = None,
+        cpu_freq_hz: float = 500e6,
+    ) -> LeafLan:
+        """A LAN segment under ``relay``: the relay re-multicasts
+        ``channel`` onto it through a gateway host, and speakers attach
+        with ``add_speaker(channel, lan=leaf)``.  The leaf segment runs
+        the normal LAN protocol — WAN pathologies terminate at the
+        relay, exactly as §6 terminates them at the rebroadcaster.
+        """
+        name = name or f"leaf{len(self.leaf_lans)}"
+        segment = EthernetSegment(
+            self.sim, bandwidth_bps=bandwidth_bps, latency=latency,
+            jitter=jitter, loss_rate=loss_rate,
+            seed=(seed if seed is not None
+                  else self._seed + 501 + len(self.lans)),
+            batch_delivery=self._batched_delivery,
+        )
+        machine = Machine(self.sim, f"{name}-gw", cpu_freq_hz=cpu_freq_hz)
+        machine.attach_network(segment, self._next_ip(), vlan=1)
+        sock = machine.net.socket()
+        dst = (channel.group_ip, channel.port)
+
+        def egress(wire, _sock=sock, _dst=dst):
+            _sock.sendto(bytes(wire), _dst)
+
+        relay.attach_lan(channel.channel_id, egress)
+        leaf = LeafLan(segment=segment, machine=machine, relay=relay,
+                       channel=channel, name=name)
+        relay.leaf_lans.append(leaf)
+        self.lans.append(segment)
+        self.leaf_lans.append(leaf)
+        return leaf
+
+    def _subtree_speakers(self, relay: RelayNode) -> int:
+        """Speakers strictly below ``relay`` — the fan-out every frame
+        denied (or minted) at its uplink would have reached."""
+        total = 0
+        for leaf in relay.leaf_lans:
+            total += sum(
+                1 for n in self.speakers if n.lan is leaf.segment
+            )
+        for hop in relay.downlinks:
+            if hop.child is not None:
+                total += self._subtree_speakers(hop.child)
+        return total
 
     # -- self-healing: standby, supervision, node faults -------------------------
 
@@ -482,7 +641,8 @@ class EthernetSpeakerSystem:
         """Schedule a node fault ``after`` seconds from now.
 
         ``target`` is a :class:`SpeakerNode` (or bare speaker), a
-        :class:`Rebroadcaster`, or a :class:`WarmStandby`; ``kind`` is
+        :class:`Rebroadcaster`, a :class:`WarmStandby`, or a WAN
+        :class:`~repro.net.wan.RelayNode`; ``kind`` is
         ``"crash"`` (abrupt process death) or ``"hang"`` (wedged: stops
         consuming its socket and servicing timers without exiting).  With
         ``restart_after`` the matching recovery — ``cold_restart`` for
@@ -523,6 +683,11 @@ class EthernetSpeakerSystem:
             return fault, target.restart
         if isinstance(target, Rebroadcaster):
             fault = target.stop if kind == "crash" else target.hang
+            return fault, target.restart
+        from repro.net.wan import RelayNode
+
+        if isinstance(target, RelayNode):
+            fault = target.crash if kind == "crash" else target.hang
             return fault, target.restart
         raise TypeError(f"cannot inject node faults into {target!r}")
 
@@ -686,6 +851,27 @@ class EthernetSpeakerSystem:
         for c in self.cohorts:
             for i in range(c.members):
                 all_gaps.extend(c.member_stats(i).rejoin_gaps)
+        # WAN relay tree: per-hop counters plus the subtree-scaled
+        # delivery budgets the conservation bound admits.  Each relay has
+        # exactly one uplink hop, so denials at the hop (wire loss,
+        # frames still in flight or parked in the resequencer) and at the
+        # relay itself (arrivals while crashed/hung) scale by the same
+        # subtree fan-out; retransmit duplicates and fallback filler are
+        # deliveries the origin never sent, scaled the same way.
+        wan_lost_deliveries = 0
+        wan_extra_deliveries = 0
+        for hop in self.wan_hops:
+            relay = hop.child
+            subtree = self._subtree_speakers(relay) if relay else 0
+            wan_lost_deliveries += subtree * (
+                hop.link.lost + hop.link.in_flight + hop.pending
+                + hop.stats.stale_dropped
+                + (relay.stats.dropped_down if relay else 0)
+            )
+            wan_extra_deliveries += subtree * (
+                hop.link.retransmits
+                + (relay.stats.filler_data if relay else 0)
+            )
         return PipelineReport(
             duration=self.sim.now,
             latency=_snap("pipeline.e2e_latency"),
@@ -700,8 +886,8 @@ class EthernetSpeakerSystem:
                 + sum(c.silence_seconds() for c in self.cohorts)
             ),
             channels=channels,
-            wire_drops=self.lan.stats.frames_dropped,
-            wire_losses=self.lan.stats.receiver_losses,
+            wire_drops=sum(l.stats.frames_dropped for l in self.lans),
+            wire_losses=sum(l.stats.receiver_losses for l in self.lans),
             injected_losses=sum(
                 f.stats.lost for f in self.fault_injectors
             ),
@@ -742,6 +928,21 @@ class EthernetSpeakerSystem:
             cohort_events_saved=sum(
                 c.events_saved for c in self.cohorts
             ),
+            wan_sent=sum(h.link.sent for h in self.wan_hops),
+            wan_delivered=sum(h.link.delivered for h in self.wan_hops),
+            wan_lost=sum(h.link.lost for h in self.wan_hops),
+            wan_retransmits=sum(h.link.retransmits for h in self.wan_hops),
+            wan_in_flight=sum(
+                h.link.in_flight + h.pending for h in self.wan_hops
+            ),
+            wan_nacks=sum(h.stats.nacks_sent for h in self.wan_hops),
+            wan_recovered=sum(h.stats.recovered for h in self.wan_hops),
+            wan_abandoned=sum(h.stats.abandoned for h in self.wan_hops),
+            relay_fallbacks=sum(r.stats.fallbacks for r in self.relays),
+            relay_standdowns=sum(r.stats.standdowns for r in self.relays),
+            relay_filler=sum(r.stats.filler_data for r in self.relays),
+            wan_lost_deliveries=wan_lost_deliveries,
+            wan_extra_deliveries=wan_extra_deliveries,
             trace_events=len(tel.tracer.events),
         )
 

@@ -26,6 +26,12 @@ def ascii_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
     return "\n".join(lines)
 
 
+def ratio(numerator: float, denominator: float) -> float:
+    """A safe rate for report rows: 0.0 when the denominator is empty
+    (e.g. WAN delivery rate on a run that never touched a WAN hop)."""
+    return numerator / denominator if denominator else 0.0
+
+
 def series_summary(values: Sequence[float]) -> dict:
     """min/mean/max of a series (for time-series figures)."""
     if not values:

@@ -31,7 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.metrics.report import ascii_table
+from repro.metrics.report import ascii_table, ratio
 from repro.metrics.trace import NULL_TRACER, Tracer
 
 
@@ -440,6 +440,26 @@ class PipelineReport:
     cohort_members: int = 0       # receivers represented by cohort rows
     cohort_spills: int = 0        # members materialised as full speakers
     cohort_events_saved: int = 0  # delivery events one exemplar stood in for
+    #: WAN relay tree (repro.net.wan): link counters summed over every
+    #: hop, NACK reliability activity, and relay fallback activity
+    wan_sent: int = 0             # frames offered to WAN links (incl. retx)
+    wan_delivered: int = 0        # frames the links delivered
+    wan_lost: int = 0             # frames the links' loss draw killed
+    wan_retransmits: int = 0      # NACK-driven re-sends
+    wan_in_flight: int = 0        # scheduled or parked, not yet downstream
+    wan_nacks: int = 0            # NACK messages over reverse paths
+    wan_recovered: int = 0        # gap positions a retransmit filled
+    wan_abandoned: int = 0        # gap positions skipped after timeout
+    relay_fallbacks: int = 0      # local filler sources started
+    relay_standdowns: int = 0     # fallbacks yielding to a returned uplink
+    relay_filler: int = 0         # filler data blocks minted
+    #: Σ per-hop (lost + in-flight/parked + resequencer drops +
+    #: relay-down drops) × subtree speakers — leaf deliveries the WAN
+    #: admits to having denied
+    wan_lost_deliveries: int = 0
+    #: Σ per-hop (retransmits + fallback filler) × subtree speakers —
+    #: leaf deliveries the tree minted that the origin never sent
+    wan_extra_deliveries: int = 0
     trace_events: int = 0
 
     @property
@@ -471,7 +491,14 @@ class PipelineReport:
         the residual must fit inside what the network admits to having
         done.  Injected *duplicates* mint extra copies the producer never
         sent, pushing the residual negative — by at most the number of
-        duplications."""
+        duplications.
+
+        WAN hops extend both sides: every frame a hop denied (wire loss,
+        in flight, parked for resequencing, or dropped by a dead relay)
+        loses up to its subtree's fan-out of leaf deliveries
+        (``wan_lost_deliveries``), while NACK retransmits and relay
+        fallback filler mint deliveries the origin never sent
+        (``wan_extra_deliveries``)."""
         bound = (
             self.wire_drops * max(
                 (c.speakers for c in self.channels), default=1
@@ -480,8 +507,10 @@ class PipelineReport:
             + self.injected_losses
             + self.injected_corrupted
             + self.injected_pending
+            + self.wan_lost_deliveries
         )
-        return -self.injected_duplicates <= self.conservation_residual <= bound
+        floor = -(self.injected_duplicates + self.wan_extra_deliveries)
+        return floor <= self.conservation_residual <= bound
 
     def summary(self) -> str:
         """Ascii rendering, built on the :mod:`repro.metrics.report`
@@ -559,6 +588,24 @@ class PipelineReport:
                 ["cohort members", self.cohort_members],
                 ["cohort spills", self.cohort_spills],
                 ["cohort events saved", self.cohort_events_saved],
+            ]
+        if self.wan_sent or self.relay_fallbacks:
+            rows += [
+                ["wan sent", self.wan_sent],
+                ["wan delivered", self.wan_delivered],
+                ["wan lost", self.wan_lost],
+                ["wan delivery rate",
+                 round(ratio(self.wan_delivered, self.wan_sent), 4)],
+                ["wan retransmits", self.wan_retransmits],
+                ["wan nacks", self.wan_nacks],
+                ["wan recovered", self.wan_recovered],
+                ["wan abandoned", self.wan_abandoned],
+                ["wan in flight", self.wan_in_flight],
+                ["relay fallbacks", self.relay_fallbacks],
+                ["relay stand-downs", self.relay_standdowns],
+                ["relay filler blocks", self.relay_filler],
+                ["wan lost deliveries", self.wan_lost_deliveries],
+                ["wan extra deliveries", self.wan_extra_deliveries],
             ]
         rows += [
             ["trace events", self.trace_events],

@@ -21,7 +21,19 @@ from repro.net.stack import NetworkStack, UdpSocket
 from repro.net.macsec import ConnectivityAssociation, MacsecNic
 from repro.net.monitor import BandwidthMonitor
 from repro.net.switch import SwitchedSegment
-from repro.net.wan import WanLink
+
+# wan is loaded lazily (PEP 562): it imports repro.core, and this
+# package initialises from inside repro.kernel.machine's own import —
+# an eager wan import here would re-enter that half-built module
+_WAN_NAMES = ("WanLink", "WanHop", "WanHopStats", "RelayNode", "RelayStats")
+
+
+def __getattr__(name):
+    if name in _WAN_NAMES:
+        from repro.net import wan
+
+        return getattr(wan, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "is_multicast",
@@ -38,6 +50,10 @@ __all__ = [
     "UdpSocket",
     "BandwidthMonitor",
     "WanLink",
+    "WanHop",
+    "WanHopStats",
+    "RelayNode",
+    "RelayStats",
     "ConnectivityAssociation",
     "MacsecNic",
     "SwitchedSegment",

@@ -242,6 +242,134 @@ def test_chaos_is_deterministic(mode):
     assert fingerprint() == fingerprint()
 
 
+# -- WAN relay tree under the same chaos ---------------------------------------
+#
+# Killing a regional relay mid-stream must leave its leaf LANs with a
+# *bounded* playout hole, never an unbounded outage: with a local
+# fallback source the edge relay fills within its cadence watchdog
+# window; without one, the hole is bounded by the relay restart delay
+# plus re-anchor cadence.  A sibling subtree that was never touched must
+# sail through with zero resyncs and no holes at all.
+
+RELAY_CRASH_AT = 4.0
+RELAY_RESTART = 2.0
+FB_TIMEOUT = 0.8
+FB_CHECK = 0.2
+RELAY_DURATION = 14.0
+RELAY_HORIZON = 13.5
+
+#: largest admissible hole in the leaf's played stream (positions are
+#: producer stream time, so a hole is exactly the audio that never played)
+RELAY_GAP_BOUND = {
+    # fallback filler engages after the cadence watchdog fires, then one
+    # control interval to re-anchor, plus playout depth + margin; the
+    # stand-down resync is strictly cheaper
+    True: FB_TIMEOUT + FB_CHECK + CONTROL_IVL + PLAYOUT + 0.25,
+    # no fallback: silence spans the restart delay (with its jitter
+    # window on both fault and recovery) plus re-anchor + playout
+    False: RELAY_RESTART + 2 * JITTER + 2 * CONTROL_IVL + PLAYOUT + 0.25,
+}
+
+RELAY_SCENARIOS = [
+    (fallback, seed) for fallback in (False, True) for seed in (1, 2, 3)
+]
+
+
+def run_relay_scenario(fallback, seed):
+    system = EthernetSpeakerSystem(seed=seed)
+    producer = system.add_producer()
+    channel = system.add_channel("soak", params=LOW, compress="never")
+    rb = system.add_rebroadcaster(
+        producer, channel, control_interval=CONTROL_IVL
+    )
+    # victim subtree: regional relay (killed) -> edge relay -> leaf LAN
+    regional = system.add_relay(rb, name="regional", latency=0.03)
+    edge = system.add_relay(
+        regional, name="edge", latency=0.01, fallback=fallback,
+        fallback_timeout=FB_TIMEOUT, check_interval=FB_CHECK,
+        control_interval=CONTROL_IVL,
+    )
+    victim_lan = system.add_leaf_lan(edge, channel, name="victim")
+    victim = system.add_speaker(channel=channel, lan=victim_lan)
+    # control subtree: an untouched sibling regional with its own leaf
+    sibling = system.add_relay(rb, name="sibling", latency=0.03)
+    control_lan = system.add_leaf_lan(sibling, channel, name="control")
+    control = system.add_speaker(channel=channel, lan=control_lan)
+    system.play_synthetic(producer, RELAY_DURATION, LOW)
+    system.schedule_fault(regional, after=RELAY_CRASH_AT, kind="crash",
+                          restart_after=RELAY_RESTART, seed=seed, jitter=JITTER)
+    system.run(until=RELAY_HORIZON)
+    return system, regional, edge, victim, control
+
+
+def _stream_holes(stats):
+    """Gaps in played stream time (the audio that never reached the DAC)."""
+    positions = [play_at for play_at, _ in stats.play_log]
+    return [b - a for a, b in zip(positions, positions[1:])]
+
+
+@pytest.mark.parametrize("fallback,seed", RELAY_SCENARIOS)
+def test_relay_kill_bounds_leaf_gap(fallback, seed):
+    system, regional, edge, victim, control = run_relay_scenario(
+        fallback, seed
+    )
+    assert regional.stats.restarts == 1
+    # playback resumes on the victim leaf well after the outage window
+    assert victim.stats.play_log, "victim leaf never played"
+    assert victim.stats.play_log[-1][1] > RELAY_CRASH_AT + 2 * JITTER + \
+        RELAY_RESTART + 2.0
+    bound = RELAY_GAP_BOUND[fallback]
+    holes = _stream_holes(victim.stats)
+    worst = max(holes, default=0.0)
+    assert worst <= bound, f"hole {worst:.3f}s exceeds bound {bound:.3f}s"
+    if fallback:
+        # filler engaged exactly once and stood down when the uplink
+        # epoch reappeared; the victim re-anchored twice (onto the
+        # fallback epoch, then back)
+        assert edge.stats.fallbacks == 1
+        assert edge.stats.standdowns == 1
+        assert edge.stats.filler_data > 0
+        assert victim.stats.epoch_resyncs == 2
+        for gap in victim.stats.rejoin_gaps:
+            assert gap <= bound
+    else:
+        assert edge.stats.fallbacks == 0
+        assert victim.stats.epoch_resyncs == 0
+    # the untouched sibling subtree never noticed
+    assert control.stats.epoch_resyncs == 0
+    assert not control.stats.rejoin_gaps
+    assert max(_stream_holes(control.stats), default=0.0) <= PLAYOUT
+    report = system.pipeline_report()
+    assert report.conservation_ok, (
+        f"ledger open: residual={report.conservation_residual}"
+    )
+    _report_rows.append({
+        "mode": f"relay-kill/{'fallback' if fallback else 'no-fallback'}",
+        "wire_faults": False, "seed": seed,
+        "rejoin_gaps": [round(g, 6) for g in victim.stats.rejoin_gaps],
+        "max_gap": round(worst, 6),
+        "bound": round(bound, 6),
+        "takeovers": edge.stats.fallbacks,
+        "conservation_residual": report.conservation_residual,
+    })
+
+
+@pytest.mark.parametrize("fallback", (False, True))
+def test_relay_kill_is_deterministic(fallback):
+    def fingerprint():
+        _, regional, edge, victim, control = run_relay_scenario(fallback, 2)
+        return (
+            tuple(victim.stats.play_log),
+            tuple(victim.stats.rejoin_gaps),
+            tuple(control.stats.play_log),
+            edge.stats.fallbacks,
+            edge.stats.filler_data,
+            regional.stats.dropped_down,
+        )
+
+    assert fingerprint() == fingerprint()
+
+
 def teardown_module(module):
     path = os.environ.get("CHAOS_SOAK_REPORT")
     if path and _report_rows:
