@@ -32,6 +32,11 @@ VERSION = 1
 TYPE_CONTROL = 1
 TYPE_DATA = 2
 TYPE_ANNOUNCE = 3
+# the ATDECC-style control plane (after IEEE 1722.1): discovery,
+# enumeration, and connection management ride the same wire format
+TYPE_ADP = 4    # entity advertisement (AVAILABLE / DEPARTING / DISCOVER)
+TYPE_AECP = 5   # entity command/response (descriptor enumeration)
+TYPE_ACMP = 6   # talker->listener connect/disconnect transactions
 
 # magic, version, type, channel_id, seq, epoch — the epoch identifies the
 # producer incarnation feeding the channel: a warm-standby takeover (or an
@@ -41,7 +46,16 @@ _COMMON = struct.Struct("<HBBHIH")
 _CONTROL = struct.Struct("<ddBIBBB")  # wall_clock, stream_pos, enc, rate,
                                       # channels, codec, quality
 _DATA = struct.Struct("<dBBI")  # play_at, codec, flags, pcm_bytes
+_ANNOUNCE_HEAD = struct.Struct("<dB")  # valid_time lease, entry count
 _ANNOUNCE_ENTRY = struct.Struct("<H4sHB")  # channel_id, ip, port, codec
+# message_type, entity_kind, entity_id, valid_time, available_index,
+# channel_id served (0 = untuned), mgmt_port
+_ADP = struct.Struct("<BBQdHHH")
+# message_type, command, status, target entity_id, payload length
+_AECP = struct.Struct("<BBBQH")
+# message_type, status, talker entity_id, listener entity_id, stream
+# group ip, stream port, channel_id
+_ACMP = struct.Struct("<BBQQ4sHH")
 
 # pre-composed whole-header structs for the hot pack/parse paths: one
 # ``pack`` call per data packet instead of two packs plus a concatenation
@@ -51,6 +65,33 @@ _CONTROL_HEADER = struct.Struct("<HBBHIHddBIBBB")  # _COMMON + _CONTROL
 #: DataPacket.flags bit: payload is synthetic filler of the right size, not
 #: a decodable codec block (used by pure-performance scenarios)
 FLAG_SYNTHETIC = 0x01
+
+# -- ADP message types (after IEEE 1722.1 §6.2) -------------------------------
+ADP_AVAILABLE = 0    # "I exist": refreshes the valid_time lease
+ADP_DEPARTING = 1    # clean shutdown: listeners drop the entity immediately
+ADP_DISCOVER = 2     # controller probe: entities re-advertise now
+
+#: ADP entity kinds
+ENTITY_SPEAKER = 1
+ENTITY_REBROADCASTER = 2
+ENTITY_STANDBY = 3
+ENTITY_RELAY = 4
+ENTITY_CONTROLLER = 5
+
+# -- AECP message/command/status codes ----------------------------------------
+AECP_COMMAND = 0
+AECP_RESPONSE = 1
+AECP_READ_DESCRIPTOR = 0
+AECP_OK = 0
+AECP_NO_SUCH_DESCRIPTOR = 1
+
+# -- ACMP message/status codes ------------------------------------------------
+ACMP_CONNECT_RX_COMMAND = 0
+ACMP_CONNECT_RX_RESPONSE = 1
+ACMP_DISCONNECT_RX_COMMAND = 2
+ACMP_DISCONNECT_RX_RESPONSE = 3
+ACMP_OK = 0
+ACMP_REFUSED = 1
 
 
 class ProtocolError(Exception):
@@ -139,18 +180,25 @@ class AnnounceEntry:
 
 @dataclass(frozen=True)
 class AnnouncePacket:
-    """Out-of-band channel catalog (§4.3, after MFTP)."""
+    """Out-of-band channel catalog (§4.3, after MFTP).
+
+    ``valid_time`` is the in-band lease: how long a listener may treat
+    the advertised entries as live without a refresh.  0.0 means the
+    announcer made no promise and the listener falls back to its local
+    expiry policy (the pre-lease behaviour).
+    """
 
     seq: int
     entries: Tuple[AnnounceEntry, ...] = ()
     epoch: int = 0
+    valid_time: float = 0.0
 
     def encode(self) -> bytes:
         parts = [
             _COMMON.pack(
                 MAGIC, VERSION, TYPE_ANNOUNCE, 0, self.seq, self.epoch
             ),
-            bytes([len(self.entries)]),
+            _ANNOUNCE_HEAD.pack(self.valid_time, len(self.entries)),
         ]
         for entry in self.entries:
             ip_bytes = bytes(int(x) for x in entry.group_ip.split("."))
@@ -166,7 +214,125 @@ class AnnouncePacket:
         return b"".join(parts)
 
 
-Packet = Union[ControlPacket, DataPacket, AnnouncePacket]
+@dataclass(frozen=True)
+class AdpPacket:
+    """ADP-style entity advertisement (after IEEE 1722.1 §6.2).
+
+    Every fleet node — speaker, rebroadcaster, standby, relay —
+    multicasts ``ENTITY_AVAILABLE`` on the discovery group with a
+    ``valid_time`` lease; a node that stops refreshing ages out of every
+    registry at lease expiry with no supervisor's help.
+    ``available_index`` is a wrapping u16 serial number bumped on every
+    advertisement (and on state changes: boot, restart, failover epoch
+    bump), so stale or replayed advertisements can never resurrect an
+    older view of the entity.
+    """
+
+    entity_id: int
+    message_type: int = ADP_AVAILABLE
+    entity_kind: int = ENTITY_SPEAKER
+    valid_time: float = 0.0
+    available_index: int = 0
+    channel_id: int = 0       # channel currently served/tuned; 0 = none
+    mgmt_port: int = 0        # where AECP/ACMP commands reach this entity
+    name: str = ""
+    seq: int = 0
+    epoch: int = 0
+
+    def encode(self) -> bytes:
+        name_bytes = self.name.encode("utf-8")[:255]
+        return (
+            _COMMON.pack(MAGIC, VERSION, TYPE_ADP, 0, self.seq, self.epoch)
+            + _ADP.pack(
+                self.message_type,
+                self.entity_kind,
+                self.entity_id,
+                self.valid_time,
+                self.available_index % AVAILABLE_INDEX_MOD,
+                self.channel_id,
+                self.mgmt_port,
+            )
+            + bytes([len(name_bytes)])
+            + name_bytes
+        )
+
+
+@dataclass(frozen=True)
+class AecpPacket:
+    """AECP-style entity command/response (after IEEE 1722.1 §9).
+
+    The one implemented command is ``READ_DESCRIPTOR``: the controller
+    asks an entity for its descriptor (channels served, gain, room, LAN)
+    and the entity answers with an archive blob in ``payload``.  The
+    common-header ``seq`` is the transaction id responses echo.
+    """
+
+    entity_id: int            # target (command) / responder (response)
+    message_type: int = AECP_COMMAND
+    command: int = AECP_READ_DESCRIPTOR
+    status: int = AECP_OK
+    payload: bytes = b""
+    seq: int = 0
+    epoch: int = 0
+
+    def encode(self) -> bytes:
+        payload = self.payload
+        if not isinstance(payload, bytes):
+            payload = bytes(payload)
+        return (
+            _COMMON.pack(MAGIC, VERSION, TYPE_AECP, 0, self.seq, self.epoch)
+            + _AECP.pack(
+                self.message_type,
+                self.command,
+                self.status,
+                self.entity_id,
+                len(payload),
+            )
+            + payload
+        )
+
+
+@dataclass(frozen=True)
+class AcmpPacket:
+    """ACMP-style connection management (after IEEE 1722.1 §8).
+
+    A tune/retune is a transaction: the controller sends
+    ``CONNECT_RX_COMMAND`` naming the talker's stream (group/port/
+    channel) to the listener's management port; the listener joins and
+    answers ``CONNECT_RX_RESPONSE`` with a status.  The common-header
+    ``seq`` is the transaction id; the controller retries on a seeded
+    timeout until it hears the echo.
+    """
+
+    message_type: int
+    talker_entity_id: int = 0
+    listener_entity_id: int = 0
+    group_ip: str = "0.0.0.0"
+    port: int = 0
+    channel_id: int = 0
+    status: int = ACMP_OK
+    seq: int = 0
+    epoch: int = 0
+
+    def encode(self) -> bytes:
+        ip_bytes = bytes(int(x) for x in self.group_ip.split("."))
+        return _COMMON.pack(
+            MAGIC, VERSION, TYPE_ACMP, 0, self.seq, self.epoch
+        ) + _ACMP.pack(
+            self.message_type,
+            self.status,
+            self.talker_entity_id,
+            self.listener_entity_id,
+            ip_bytes,
+            self.port,
+            self.channel_id,
+        )
+
+
+Packet = Union[
+    ControlPacket, DataPacket, AnnouncePacket,
+    AdpPacket, AecpPacket, AcmpPacket,
+]
 
 
 def parse_packet(data: bytes) -> Packet:
@@ -198,6 +364,12 @@ def parse_packet(data: bytes) -> Packet:
             )
         if ptype == TYPE_ANNOUNCE:
             return _parse_announce(seq, epoch, data, _COMMON.size, total)
+        if ptype == TYPE_ADP:
+            return _parse_adp(seq, epoch, data, _COMMON.size, total)
+        if ptype == TYPE_AECP:
+            return _parse_aecp(seq, epoch, data, _COMMON.size, total)
+        if ptype == TYPE_ACMP:
+            return _parse_acmp(seq, epoch, data, _COMMON.size, total)
     except (struct.error, ValueError, IndexError) as err:
         raise ProtocolError(f"malformed packet: {err}") from None
     raise ProtocolError(f"unknown packet type {ptype}")
@@ -259,10 +431,8 @@ def _parse_data(
 def _parse_announce(
     seq: int, epoch: int, data, base: int, total: int
 ) -> AnnouncePacket:
-    if base >= total:
-        raise ProtocolError("malformed packet: missing announce entry count")
-    count = data[base]
-    offset = base + 1
+    valid_time, count = _ANNOUNCE_HEAD.unpack_from(data, base)
+    offset = base + _ANNOUNCE_HEAD.size
     view = memoryview(data)
     entries = []
     for _ in range(count):
@@ -291,7 +461,96 @@ def _parse_announce(
                 name=name,
             )
         )
-    return AnnouncePacket(seq=seq, entries=tuple(entries), epoch=epoch)
+    if offset != total:
+        # strict framing, like control packets: the count byte and the
+        # per-entry name lengths promise every byte of the datagram, so
+        # trailing junk can never ride along unnoticed
+        raise ProtocolError(
+            f"announce packet length mismatch: {total - offset} trailing "
+            "bytes"
+        )
+    return AnnouncePacket(
+        seq=seq, entries=tuple(entries), epoch=epoch, valid_time=valid_time
+    )
+
+
+def _parse_adp(
+    seq: int, epoch: int, data, base: int, total: int
+) -> AdpPacket:
+    (
+        message_type, entity_kind, entity_id, valid_time,
+        available_index, channel_id, mgmt_port,
+    ) = _ADP.unpack_from(data, base)
+    offset = base + _ADP.size
+    if offset >= total:
+        raise ProtocolError("adp packet truncated: missing name length byte")
+    name_len = data[offset]
+    if total != offset + 1 + name_len:
+        raise ProtocolError(
+            f"adp packet length mismatch: name_len={name_len}, "
+            f"{total - offset - 1} bytes follow"
+        )
+    name = str(memoryview(data)[offset + 1 : offset + 1 + name_len], "utf-8")
+    return AdpPacket(
+        entity_id=entity_id,
+        message_type=message_type,
+        entity_kind=entity_kind,
+        valid_time=valid_time,
+        available_index=available_index,
+        channel_id=channel_id,
+        mgmt_port=mgmt_port,
+        name=name,
+        seq=seq,
+        epoch=epoch,
+    )
+
+
+def _parse_aecp(
+    seq: int, epoch: int, data, base: int, total: int
+) -> AecpPacket:
+    message_type, command, status, entity_id, payload_len = (
+        _AECP.unpack_from(data, base)
+    )
+    offset = base + _AECP.size
+    if total != offset + payload_len:
+        raise ProtocolError(
+            f"aecp packet length mismatch: payload_len={payload_len}, "
+            f"{total - offset} bytes follow"
+        )
+    return AecpPacket(
+        entity_id=entity_id,
+        message_type=message_type,
+        command=command,
+        status=status,
+        payload=bytes(memoryview(data)[offset:total]),
+        seq=seq,
+        epoch=epoch,
+    )
+
+
+def _parse_acmp(
+    seq: int, epoch: int, data, base: int, total: int
+) -> AcmpPacket:
+    if total != base + _ACMP.size:
+        raise ProtocolError(
+            f"acmp packet length mismatch: {total - base} body bytes, "
+            f"{_ACMP.size} expected"
+        )
+    (
+        message_type, status, talker_entity_id, listener_entity_id,
+        ip_bytes, port, channel_id,
+    ) = _ACMP.unpack_from(data, base)
+    return AcmpPacket(
+        message_type=message_type,
+        talker_entity_id=talker_entity_id,
+        listener_entity_id=listener_entity_id,
+        group_ip=".".join(str(b) for b in ip_bytes),
+        port=port,
+        channel_id=channel_id,
+        status=status,
+        seq=seq,
+        epoch=epoch,
+    )
 
 
 _PEEK = struct.Struct("<HBB")  # magic, version, type
@@ -367,3 +626,11 @@ def seq_delta(new: int, old: int) -> int:
 def epoch_newer(new: int, old: int) -> bool:
     """True when ``new`` is a later producer incarnation than ``old``."""
     return new != old and (new - old) % EPOCH_MOD < EPOCH_MOD // 2
+
+
+#: ADP ``available_index`` lives in the same wrapping u16 serial space as
+#: the producer epoch, and freshness uses the *same* comparison — the
+#: discovery property suite pins ``index_newer`` to ``epoch_newer`` so the
+#: two serial-16 rules can never drift apart
+AVAILABLE_INDEX_MOD = EPOCH_MOD
+index_newer = epoch_newer

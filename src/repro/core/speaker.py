@@ -103,7 +103,7 @@ class EthernetSpeaker:
     def __init__(
         self,
         machine,
-        group_ip: str,
+        group_ip: Optional[str],
         port: int,
         epsilon: float = 0.020,
         playout_delay: float = 0.400,
@@ -246,7 +246,7 @@ class EthernetSpeaker:
         new one.  ``_bytes_written`` restarts at zero for the new
         session; ``_write_base`` keeps the device-byte mapping absolute.
         """
-        if self._sock is not None:
+        if self._sock is not None and self.group_ip is not None:
             self.machine.net.nic.leave_group(self.group_ip)
         self.group_ip = group_ip
         self.port = port
@@ -357,7 +357,10 @@ class EthernetSpeaker:
         sock = self.machine.net.socket(
             self.port, rx_capacity=self.rx_buffer_packets
         )
-        sock.join_multicast(self.group_ip)
+        if self.group_ip is not None:
+            # a parked speaker (booted undiscovered, awaiting an ACMP
+            # CONNECT) binds but joins nothing until it is tuned
+            sock.join_multicast(self.group_ip)
         sock.drop_hook = self._classify_drop
         self._sock = sock
         return sock

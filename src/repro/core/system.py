@@ -32,6 +32,12 @@ from repro.codec.cache import DecodeCache, DecodeCacheStats
 from repro.core.channel import ChannelConfig
 from repro.core.cohort import CohortMember, SpeakerCohort
 from repro.core.failover import WarmStandby
+from repro.core.protocol import (
+    ENTITY_REBROADCASTER,
+    ENTITY_RELAY,
+    ENTITY_SPEAKER,
+    ENTITY_STANDBY,
+)
 from repro.core.rebroadcaster import Rebroadcaster
 from repro.core.speaker import EthernetSpeaker
 from repro.kernel.audio import (
@@ -49,6 +55,9 @@ from repro.metrics.telemetry import (
     PipelineReport,
     Telemetry,
 )
+from repro.mgmt.controller import FleetController
+from repro.mgmt.discovery import DEFAULT_VALID_TIME, EntityAdvertiser
+from repro.mgmt.remote import MGMT_PORT, ManagementAgent
 from repro.mgmt.supervisor import Supervisor
 from repro.net.faults import FaultInjector
 from repro.net.monitor import BandwidthMonitor
@@ -73,6 +82,10 @@ class SpeakerNode:
     #: the segment this speaker listens on (the system LAN, or a relay
     #: tree leaf LAN)
     lan: Optional[EthernetSegment] = None
+    #: populated by :meth:`EthernetSpeakerSystem.advertise_speaker`
+    entity_id: Optional[int] = None
+    agent: Optional[ManagementAgent] = None
+    advertiser: Optional[EntityAdvertiser] = None
 
     @property
     def stats(self):
@@ -221,17 +234,40 @@ class EthernetSpeakerSystem:
         self.relays: List[RelayNode] = []
         self.wan_hops: List[WanHop] = []
         self.leaf_lans: List[LeafLan] = []
+        #: the dynamic control plane (ATDECC-style): controllers, entity
+        #: advertisers, and management agents, all living on a dedicated
+        #: out-of-band management segment (see :meth:`enable_management`)
+        self.controllers: List[FleetController] = []
+        self.advertisers: List[EntityAdvertiser] = []
+        self.mgmt_agents: List[ManagementAgent] = []
+        self.mgmt_lan: Optional[EthernetSegment] = None
         #: primary producer id -> standby producer nodes that must receive
         #: a mirror of every source feed played into the primary
         self._mirrors: Dict[int, List[ProducerNode]] = {}
         self._next_host = 1
         self._next_channel = 1
         self._next_vad = 0
+        self._next_mgmt_host = 1
+        self._next_entity = 1
 
     def _next_ip(self) -> str:
         ip = f"10.1.{self._next_host // 250}.{self._next_host % 250 + 1}"
         self._next_host += 1
         return ip
+
+    def _next_mgmt_ip(self) -> str:
+        """Management-segment addresses come from their own counter so
+        attaching control-plane NICs never shifts the audio-LAN IP
+        allocation order (which fault chains and differential tests key
+        on)."""
+        n = self._next_mgmt_host
+        self._next_mgmt_host += 1
+        return f"10.9.{n // 250}.{n % 250 + 1}"
+
+    def _next_entity_id(self) -> int:
+        eid = self._next_entity
+        self._next_entity += 1
+        return eid
 
     # -- construction -----------------------------------------------------------
 
@@ -295,7 +331,7 @@ class EthernetSpeakerSystem:
 
     def add_speaker(
         self,
-        channel: ChannelConfig,
+        channel: Optional[ChannelConfig] = None,
         name: str = "",
         cpu_freq_hz: float = 233e6,
         block_seconds: float = 0.065,
@@ -311,6 +347,10 @@ class EthernetSpeakerSystem:
         ``lan`` attaches the speaker to another segment — a
         :class:`LeafLan` from :meth:`add_leaf_lan` or a raw
         :class:`EthernetSegment` — instead of the system LAN.
+
+        ``channel=None`` boots the speaker *parked*: untuned, joined to
+        nothing, waiting for the control plane to CONNECT it (see
+        :meth:`advertise_speaker` / :meth:`connect_speaker`).
         """
         segment = self._segment_of(lan)
         name = name or f"es{len(self.speakers)}"
@@ -326,8 +366,10 @@ class EthernetSpeakerSystem:
         speaker_kwargs.setdefault("telemetry", self.telemetry)
         if self.decode_cache is not None:
             speaker_kwargs.setdefault("decode_cache", self.decode_cache)
+        group_ip = channel.group_ip if channel is not None else None
+        port = channel.port if channel is not None else 0
         speaker = EthernetSpeaker(
-            machine, channel.group_ip, channel.port, name=name,
+            machine, group_ip, port, name=name,
             **speaker_kwargs,
         )
         if start:
@@ -628,6 +670,237 @@ class EthernetSpeakerSystem:
             name or f"{rb.machine.name}/rb-ch{rb.channel.channel_id}",
             rb.machine, probe, restart=rb.restart,
         )
+
+    # -- the dynamic control plane (ATDECC-style) --------------------------------
+
+    def channel_by_id(self, channel_id: int) -> Optional[ChannelConfig]:
+        for channel in self.channels:
+            if channel.channel_id == channel_id:
+                return channel
+        return None
+
+    def enable_management(
+        self,
+        bandwidth_bps: float = 100e6,
+        latency: float = 50e-6,
+    ) -> EthernetSegment:
+        """Create the out-of-band management segment (idempotent).
+
+        Discovery, enumeration, and connection management run here on
+        second NICs with their own address space, so control-plane churn
+        can never contend with the audio LAN for wire time, perturb its
+        fault RNG draws, or leak into its conservation ledger (the
+        segment is deliberately kept out of ``self.lans``).
+        """
+        if self.mgmt_lan is None:
+            self.mgmt_lan = EthernetSegment(
+                self.sim,
+                bandwidth_bps=bandwidth_bps,
+                latency=latency,
+                seed=self._seed + 9001,
+                batch_delivery=self._batched_delivery,
+            )
+        return self.mgmt_lan
+
+    def _attach_mgmt(self, machine: Machine) -> None:
+        if machine.mgmt_net is None:
+            machine.attach_mgmt_network(
+                self.enable_management(), self._next_mgmt_ip()
+            )
+
+    def add_controller(
+        self,
+        name: str = "",
+        cpu_freq_hz: float = 500e6,
+        supervisor: Optional[Supervisor] = None,
+        **controller_kwargs,
+    ) -> FleetController:
+        """A started :class:`~repro.mgmt.controller.FleetController` on
+        its own management-only machine.  Binding a ``supervisor`` routes
+        lease expiries into its guarded restart path."""
+        name = name or f"controller{len(self.controllers)}"
+        machine = Machine(self.sim, name, cpu_freq_hz=cpu_freq_hz)
+        self._attach_mgmt(machine)
+        controller_kwargs.setdefault("telemetry", self.telemetry)
+        controller_kwargs.setdefault("seed", self._seed)
+        controller = FleetController(machine, name=name, **controller_kwargs)
+        if supervisor is not None:
+            controller.bind_supervisor(supervisor)
+        controller.start()
+        self.controllers.append(controller)
+        return controller
+
+    def advertise_speaker(
+        self,
+        node: SpeakerNode,
+        valid_time: float = DEFAULT_VALID_TIME,
+        interval: Optional[float] = None,
+    ) -> EntityAdvertiser:
+        """Put a speaker on the control plane: a management NIC, an ADP
+        advertiser (boot/restart/crash transitions bump the serial), and
+        a :class:`ManagementAgent` answering AECP/ACMP, which also
+        first-starts a speaker that booted parked when the controller
+        CONNECTs it."""
+        self._attach_mgmt(node.machine)
+        speaker = node.speaker
+        entity_id = self._next_entity_id()
+        node.entity_id = entity_id
+        agent = ManagementAgent(speaker, entity_id=entity_id)
+        agent.start()
+
+        def on_connected(channel_id: int, node=node) -> None:
+            node.channel = self.channel_by_id(channel_id)
+
+        def on_disconnected(node=node) -> None:
+            node.channel = None
+
+        agent.on_connected = on_connected
+        agent.on_disconnected = on_disconnected
+        node.agent = agent
+        self.mgmt_agents.append(agent)
+
+        def probe() -> bool:
+            # parked (never started) counts as healthy: the node is up
+            # and waiting for its first ACMP CONNECT
+            if speaker._crashed:
+                return False
+            proc = speaker._proc
+            return proc is None or (proc.alive and not proc.frozen)
+
+        advertiser = EntityAdvertiser(
+            node.machine,
+            entity_id,
+            entity_kind=ENTITY_SPEAKER,
+            name=speaker.name,
+            probe=probe,
+            valid_time=valid_time,
+            interval=interval,
+            channel_id_fn=lambda: (
+                node.channel.channel_id if node.channel is not None else 0
+            ),
+            mgmt_port=MGMT_PORT,
+            telemetry=self.telemetry,
+        )
+        advertiser.start()
+        node.advertiser = advertiser
+        self.advertisers.append(advertiser)
+        return advertiser
+
+    def advertise_rebroadcaster(
+        self,
+        rb: Rebroadcaster,
+        valid_time: float = DEFAULT_VALID_TIME,
+        interval: Optional[float] = None,
+        entity_kind: int = ENTITY_REBROADCASTER,
+        name: str = "",
+    ) -> EntityAdvertiser:
+        """Advertise a talker.  Restart/failover epoch bumps advance the
+        serial so registries see the state change immediately."""
+        self._attach_mgmt(rb.machine)
+        entity_id = self._next_entity_id()
+
+        def probe() -> bool:
+            return rb.alive and not rb._proc.frozen
+
+        advertiser = EntityAdvertiser(
+            rb.machine,
+            entity_id,
+            entity_kind=entity_kind,
+            name=name or f"{rb.machine.name}/rb-ch{rb.channel.channel_id}",
+            probe=probe,
+            valid_time=valid_time,
+            interval=interval,
+            channel_id_fn=lambda: rb.channel.channel_id,
+            epoch_fn=lambda: rb.epoch,
+            telemetry=self.telemetry,
+        )
+        advertiser.start()
+        rb.advertiser = advertiser
+        self.advertisers.append(advertiser)
+        return advertiser
+
+    def advertise_standby(
+        self,
+        standby: WarmStandby,
+        valid_time: float = DEFAULT_VALID_TIME,
+        interval: Optional[float] = None,
+    ) -> EntityAdvertiser:
+        """Advertise a warm standby; a takeover bumps its rebroadcaster
+        epoch, which the advertiser turns into a serial bump."""
+        return self.advertise_rebroadcaster(
+            standby.rb,
+            valid_time=valid_time,
+            interval=interval,
+            entity_kind=ENTITY_STANDBY,
+            name=standby.name,
+        )
+
+    def advertise_relay(
+        self,
+        relay,
+        valid_time: float = DEFAULT_VALID_TIME,
+        interval: Optional[float] = None,
+        cpu_freq_hz: float = 500e6,
+    ) -> EntityAdvertiser:
+        """Advertise a WAN relay.  Relays have no host machine of their
+        own (they live behind WAN hops), so the advert runs on a small
+        management proxy box whose probe inspects the relay."""
+        machine = Machine(
+            self.sim, f"{relay.name}-mgmt", cpu_freq_hz=cpu_freq_hz
+        )
+        self._attach_mgmt(machine)
+        entity_id = self._next_entity_id()
+
+        def probe() -> bool:
+            return relay.alive
+
+        advertiser = EntityAdvertiser(
+            machine,
+            entity_id,
+            entity_kind=ENTITY_RELAY,
+            name=relay.name,
+            probe=probe,
+            valid_time=valid_time,
+            interval=interval,
+            telemetry=self.telemetry,
+        )
+        advertiser.start()
+        relay.advertiser = advertiser
+        self.advertisers.append(advertiser)
+        return advertiser
+
+    def connect_speaker(
+        self,
+        controller: FleetController,
+        node: SpeakerNode,
+        channel: ChannelConfig,
+    ) -> Process:
+        """Tune ``node`` to ``channel`` through an ACMP CONNECT_RX
+        transaction (the dynamic-control-plane replacement for wiring
+        the channel at :meth:`add_speaker` time).  Returns the
+        transaction process; its result is ``True`` on success.  The
+        node's ``channel`` field updates when the command actually lands
+        at its management agent, not when the transaction is issued."""
+        if node.entity_id is None:
+            raise ValueError(
+                f"{node.speaker.name} is not advertised; call "
+                "advertise_speaker() first"
+            )
+        return controller.connect(
+            node.entity_id, channel.group_ip, channel.port,
+            channel.channel_id,
+        )
+
+    def disconnect_speaker(
+        self, controller: FleetController, node: SpeakerNode
+    ) -> Process:
+        """Park ``node`` through an ACMP DISCONNECT_RX transaction."""
+        if node.entity_id is None:
+            raise ValueError(
+                f"{node.speaker.name} is not advertised; call "
+                "advertise_speaker() first"
+            )
+        return controller.disconnect(node.entity_id)
 
     def schedule_fault(
         self,
@@ -943,6 +1216,24 @@ class EthernetSpeakerSystem:
             relay_filler=sum(r.stats.filler_data for r in self.relays),
             wan_lost_deliveries=wan_lost_deliveries,
             wan_extra_deliveries=wan_extra_deliveries,
+            adp_advertises=sum(
+                a.stats.advertises for a in self.advertisers
+            ),
+            adp_expiries=sum(
+                c.stats.expiries for c in self.controllers
+            ),
+            adp_departs=sum(
+                c.stats.departs for c in self.controllers
+            ),
+            acmp_connects=sum(
+                c.stats.acmp_connects for c in self.controllers
+            ),
+            acmp_failures=sum(
+                c.stats.acmp_failures for c in self.controllers
+            ),
+            enumerations=sum(
+                c.stats.enumerations for c in self.controllers
+            ),
             trace_events=len(tel.tracer.events),
         )
 

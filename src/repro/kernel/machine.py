@@ -65,6 +65,7 @@ class Machine:
         self._fds: Dict[int, _OpenFile] = {}
         self._next_fd = 3
         self.net: Optional[NetworkStack] = None
+        self.mgmt_net: Optional[NetworkStack] = None
         self.nvram: Dict[str, Any] = {}
         self.processes: list[Process] = []
 
@@ -83,6 +84,25 @@ class Machine:
         self.net = NetworkStack(self.sim, Nic(segment, ip, vlan=vlan,
                                               name=f"{self.name}/nic0"))
         return self.net
+
+    def attach_mgmt_network(
+        self, segment: EthernetSegment, ip: str, vlan: int = 1
+    ) -> NetworkStack:
+        """Attach a second NIC on an out-of-band management segment.
+
+        Discovery and control-plane traffic prefers this stack (see
+        :attr:`control_stack`) so fleet churn never contends with the
+        audio LAN for wire time.
+        """
+        self.mgmt_net = NetworkStack(self.sim, Nic(segment, ip, vlan=vlan,
+                                                   name=f"{self.name}/nic1"))
+        return self.mgmt_net
+
+    @property
+    def control_stack(self) -> Optional[NetworkStack]:
+        """The stack control-plane traffic should use: the management
+        NIC when one is attached, else the primary NIC."""
+        return self.mgmt_net if self.mgmt_net is not None else self.net
 
     def spawn(self, gen: Generator, name: str = "") -> Process:
         """Start a user process on this machine."""

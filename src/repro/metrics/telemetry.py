@@ -460,6 +460,15 @@ class PipelineReport:
     #: Σ per-hop (retransmits + fallback filler) × subtree speakers —
     #: leaf deliveries the tree minted that the origin never sent
     wan_extra_deliveries: int = 0
+    #: dynamic control plane (repro.mgmt.discovery / .controller): all
+    #: out-of-band on the management segment, so none of these touch the
+    #: audio conservation ledger
+    adp_advertises: int = 0       # ENTITY_AVAILABLEs transmitted
+    adp_expiries: int = 0         # leases that lapsed at a controller
+    adp_departs: int = 0          # clean ENTITY_DEPARTINGs honoured
+    acmp_connects: int = 0        # CONNECT_RX transactions completed
+    acmp_failures: int = 0        # transactions that exhausted retries
+    enumerations: int = 0         # AECP descriptor reads completed
     trace_events: int = 0
 
     @property
@@ -606,6 +615,17 @@ class PipelineReport:
                 ["relay filler blocks", self.relay_filler],
                 ["wan lost deliveries", self.wan_lost_deliveries],
                 ["wan extra deliveries", self.wan_extra_deliveries],
+            ]
+        if (self.adp_advertises or self.adp_expiries
+                or self.acmp_connects or self.acmp_failures
+                or self.enumerations):
+            rows += [
+                ["adp advertises", self.adp_advertises],
+                ["adp expiries", self.adp_expiries],
+                ["adp departs", self.adp_departs],
+                ["acmp connects", self.acmp_connects],
+                ["acmp failures", self.acmp_failures],
+                ["enumerations", self.enumerations],
             ]
         rows += [
             ["trace events", self.trace_events],

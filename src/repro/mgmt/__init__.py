@@ -16,9 +16,22 @@
 * :mod:`repro.mgmt.supervisor` — the watchdog/health registry: per-node
   heartbeats, missed-beat detection, driven restarts (the self-healing
   layer; see docs/faults.md).
+* :mod:`repro.mgmt.discovery` / :mod:`repro.mgmt.controller` — the
+  ATDECC-style dynamic control plane: ADP entity advertisement with
+  valid_time leases and serial-16 available_index, AECP descriptor
+  enumeration, and ACMP connect/disconnect transactions (see
+  docs/control-plane.md).
 """
 
 from repro.mgmt.catalog import CatalogAnnouncer, CatalogListener, CATALOG_GROUP, CATALOG_PORT
+from repro.mgmt.controller import EntityRecord, FleetController
+from repro.mgmt.discovery import (
+    DISCOVERY_GROUP,
+    DISCOVERY_PORT,
+    EntityAdvertiser,
+    lease_deadline,
+    lease_expired,
+)
 from repro.mgmt.remote import ControlStation, ManagementAgent
 from repro.mgmt.remotecontrol import RemoteControl
 from repro.mgmt.snmp import MibTree, SnmpAgent, SnmpManager, ES_MIB_BASE
@@ -29,6 +42,13 @@ __all__ = [
     "NodeHealth",
     "Supervisor",
     "SupervisorStats",
+    "EntityAdvertiser",
+    "EntityRecord",
+    "FleetController",
+    "DISCOVERY_GROUP",
+    "DISCOVERY_PORT",
+    "lease_deadline",
+    "lease_expired",
     "CatalogAnnouncer",
     "CatalogListener",
     "CATALOG_GROUP",

@@ -12,8 +12,24 @@ channel and restore them afterwards.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
+from repro.core.protocol import (
+    ACMP_CONNECT_RX_COMMAND,
+    ACMP_CONNECT_RX_RESPONSE,
+    ACMP_DISCONNECT_RX_COMMAND,
+    ACMP_DISCONNECT_RX_RESPONSE,
+    ACMP_OK,
+    AECP_COMMAND,
+    AECP_NO_SUCH_DESCRIPTOR,
+    AECP_OK,
+    AECP_READ_DESCRIPTOR,
+    AECP_RESPONSE,
+    AcmpPacket,
+    AecpPacket,
+    ProtocolError,
+    parse_packet,
+)
 from repro.platform.archive import pack_archive, unpack_archive
 from repro.sim.process import Process, Timeout
 
@@ -98,24 +114,60 @@ class ControlStation:
 
 
 class ManagementAgent:
-    """Per-speaker command executor."""
+    """Per-speaker command executor.
 
-    def __init__(self, speaker, group: str = MGMT_GROUP, port: int = MGMT_PORT):
+    Besides the archive-packed console commands it now answers the
+    controller's binary PDUs on the same socket: AECP READ_DESCRIPTOR
+    (unicast reply with the speaker's descriptor) and ACMP
+    CONNECT_RX/DISCONNECT_RX (retune the speaker — starting it on first
+    connect if it booted parked — and acknowledge).  When the machine
+    has a management NIC the agent binds there, keeping control-plane
+    churn off the audio LAN.
+    """
+
+    def __init__(
+        self,
+        speaker,
+        group: str = MGMT_GROUP,
+        port: int = MGMT_PORT,
+        entity_id: int = 0,
+        descriptor_fn: Optional[Callable[[], Dict[str, bytes]]] = None,
+        stack=None,
+    ):
         self.speaker = speaker
         self.machine = speaker.machine
         self.group = group
         self.port = port
+        self.entity_id = entity_id
+        self.descriptor_fn = descriptor_fn
+        self.stack = stack if stack is not None else self.machine.control_stack
         self.commands_executed = 0
+        self.acmp_handled = 0
+        self.aecp_handled = 0
+        self.on_connected: Optional[Callable[[int], None]] = None
+        self.on_disconnected: Optional[Callable[[], None]] = None
         self._saved: Optional[tuple] = None
 
     def start(self) -> Process:
         return self.machine.spawn(self._run(), name="mgmt-agent")
 
     def _run(self):
-        sock = self.machine.net.socket(self.port)
+        sock = self.stack.socket(self.port)
         sock.join_multicast(self.group)
         while True:
             msg = yield sock.recv()
+            pdu = None
+            try:
+                pdu = parse_packet(msg.payload)
+            except ProtocolError:
+                pass
+            if pdu is not None:
+                yield self.machine.cpu.run(10_000, domain="user")
+                if isinstance(pdu, AecpPacket):
+                    self._handle_aecp(sock, pdu, msg.src)
+                elif isinstance(pdu, AcmpPacket):
+                    self._handle_acmp(sock, pdu, msg.src)
+                continue
             try:
                 fields = unpack_archive(msg.payload)
             except ValueError:
@@ -125,6 +177,83 @@ class ManagementAgent:
                 self._answer_census(sock, fields)
             else:
                 self._execute(fields)
+
+    # -- ATDECC-style PDUs ----------------------------------------------------
+
+    def default_descriptor(self) -> Dict[str, bytes]:
+        sp = self.speaker
+        return {
+            "entity": str(self.entity_id).encode(),
+            "name": getattr(sp, "name", self.machine.name).encode(),
+            "group": (sp.group_ip or "").encode(),
+            "port": str(sp.port).encode(),
+            "gain": repr(getattr(sp, "gain", 1.0)).encode(),
+        }
+
+    def _handle_aecp(self, sock, pkt: AecpPacket, src) -> None:
+        if pkt.message_type != AECP_COMMAND:
+            return
+        if pkt.entity_id != self.entity_id:
+            return
+        if pkt.command == AECP_READ_DESCRIPTOR:
+            fields = (
+                self.descriptor_fn()
+                if self.descriptor_fn is not None
+                else self.default_descriptor()
+            )
+            reply = AecpPacket(
+                entity_id=self.entity_id,
+                message_type=AECP_RESPONSE,
+                command=pkt.command,
+                status=AECP_OK,
+                payload=pack_archive(fields),
+                seq=pkt.seq,
+            )
+        else:
+            reply = AecpPacket(
+                entity_id=self.entity_id,
+                message_type=AECP_RESPONSE,
+                command=pkt.command,
+                status=AECP_NO_SUCH_DESCRIPTOR,
+                seq=pkt.seq,
+            )
+        sock.sendto(reply.encode(), src)
+        self.aecp_handled += 1
+        self.commands_executed += 1
+
+    def _handle_acmp(self, sock, pkt: AcmpPacket, src) -> None:
+        if pkt.listener_entity_id != self.entity_id:
+            return
+        speaker = self.speaker
+        status = ACMP_OK
+        if pkt.message_type == ACMP_CONNECT_RX_COMMAND:
+            reply_type = ACMP_CONNECT_RX_RESPONSE
+            speaker.retune(pkt.group_ip, pkt.port)
+            if getattr(speaker, "_proc", None) is None:
+                # booted parked: first CONNECT starts the receive loop
+                speaker.start()
+            if self.on_connected is not None:
+                self.on_connected(pkt.channel_id)
+        elif pkt.message_type == ACMP_DISCONNECT_RX_COMMAND:
+            reply_type = ACMP_DISCONNECT_RX_RESPONSE
+            speaker.retune(None, 0)
+            if self.on_disconnected is not None:
+                self.on_disconnected()
+        else:
+            return
+        reply = AcmpPacket(
+            message_type=reply_type,
+            talker_entity_id=pkt.talker_entity_id,
+            listener_entity_id=pkt.listener_entity_id,
+            group_ip=pkt.group_ip,
+            port=pkt.port,
+            channel_id=pkt.channel_id,
+            status=status,
+            seq=pkt.seq,
+        )
+        sock.sendto(reply.encode(), src)
+        self.acmp_handled += 1
+        self.commands_executed += 1
 
     def _answer_census(self, sock, fields: Dict[str, bytes]) -> None:
         tuned_to = (self.speaker.group_ip, self.speaker.port)

@@ -58,6 +58,7 @@ class SupervisorStats:
     missed_heartbeats: int = 0
     restarts: int = 0
     nodes_down: int = 0      # down transitions observed
+    lease_expiries: int = 0  # discovery-lease expiries acted on
 
     #: populated by :meth:`Supervisor.snapshot`
     nodes: Dict[str, str] = field(default_factory=dict)
@@ -208,6 +209,38 @@ class Supervisor:
                     self.sim.schedule(
                         self.restart_delay, self._do_restart, name
                     )
+
+    def notify_lease_expired(self, name: str) -> bool:
+        """Second health signal: a discovery lease lapsed for ``name``.
+
+        Fed by :class:`repro.mgmt.controller.FleetController` when an
+        entity's ADP lease ages out.  Re-uses the exact restart path the
+        heartbeat scan drives — including the ``restart_pending`` latch —
+        so a node both signals notice is still restarted exactly once.
+        Returns ``True`` when a restart was scheduled (or the node was
+        newly marked down with no restart action registered).
+        """
+        health = self.nodes.get(name)
+        if health is None:
+            return False          # not a supervised node (e.g. a remote)
+        if health.restart_pending:
+            return False          # heartbeat path already acting on it
+        if self._probes[name]():
+            return False          # lease lapse was transient; node is fine
+        self.stats.lease_expiries += 1
+        self.telemetry.counter(f"supervisor.lease_expiries[{name}]").inc()
+        if health.status != DOWN:
+            health.status = DOWN
+            self.stats.nodes_down += 1
+            self.telemetry.tracer.instant(
+                "supervisor.lease_expired", track=self.name, node=name,
+            )
+        restart = self._restarts[name]
+        if restart is not None and self.restart_delay is not None:
+            health.restart_pending = True
+            health.status = RESTARTING
+            self.sim.schedule(self.restart_delay, self._do_restart, name)
+        return True
 
     def _do_restart(self, name: str) -> None:
         health = self.nodes[name]

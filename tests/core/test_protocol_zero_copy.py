@@ -20,13 +20,31 @@ from repro.codec import CodecID
 from repro.core.protocol import (
     MAGIC,
     VERSION,
+    ACMP_CONNECT_RX_COMMAND,
+    ACMP_DISCONNECT_RX_RESPONSE,
+    ADP_AVAILABLE,
+    ADP_DEPARTING,
+    AECP_COMMAND,
+    AECP_RESPONSE,
+    ENTITY_REBROADCASTER,
+    ENTITY_SPEAKER,
+    TYPE_ACMP,
+    TYPE_ADP,
+    TYPE_AECP,
     TYPE_ANNOUNCE,
     TYPE_CONTROL,
     TYPE_DATA,
+    _ACMP,
+    _ADP,
+    _AECP,
     _ANNOUNCE_ENTRY,
+    _ANNOUNCE_HEAD,
     _COMMON,
     _CONTROL,
     _DATA,
+    AcmpPacket,
+    AdpPacket,
+    AecpPacket,
     AnnounceEntry,
     AnnouncePacket,
     ControlPacket,
@@ -58,6 +76,12 @@ def reference_parse(data):
             return _ref_data(channel_id, seq, epoch, body)
         if ptype == TYPE_ANNOUNCE:
             return _ref_announce(seq, epoch, body)
+        if ptype == TYPE_ADP:
+            return _ref_adp(seq, epoch, body)
+        if ptype == TYPE_AECP:
+            return _ref_aecp(seq, epoch, body)
+        if ptype == TYPE_ACMP:
+            return _ref_acmp(seq, epoch, body)
     except (struct.error, ValueError, IndexError) as err:
         raise ProtocolError(f"malformed packet: {err}") from None
     raise ProtocolError(f"unknown packet type {ptype}")
@@ -101,10 +125,8 @@ def _ref_data(channel_id, seq, epoch, body):
 
 
 def _ref_announce(seq, epoch, body):
-    if not body:
-        raise ProtocolError("missing announce entry count")
-    count = body[0]
-    offset = 1
+    valid_time, count = _ANNOUNCE_HEAD.unpack(body[: _ANNOUNCE_HEAD.size])
+    offset = _ANNOUNCE_HEAD.size
     entries = []
     for _ in range(count):
         channel_id, ip_bytes, port, codec = _ANNOUNCE_ENTRY.unpack(
@@ -127,7 +149,74 @@ def _ref_announce(seq, epoch, body):
                 name=name,
             )
         )
-    return AnnouncePacket(seq=seq, entries=tuple(entries), epoch=epoch)
+    if offset != len(body):
+        raise ProtocolError("announce packet length mismatch")
+    return AnnouncePacket(
+        seq=seq, entries=tuple(entries), epoch=epoch, valid_time=valid_time
+    )
+
+
+def _ref_adp(seq, epoch, body):
+    (
+        message_type, entity_kind, entity_id, valid_time,
+        available_index, channel_id, mgmt_port,
+    ) = _ADP.unpack(body[: _ADP.size])
+    rest = body[_ADP.size :]
+    if not rest:
+        raise ProtocolError("missing name length byte")
+    name_len = rest[0]
+    if len(rest) != 1 + name_len:
+        raise ProtocolError("adp packet length mismatch")
+    return AdpPacket(
+        entity_id=entity_id,
+        message_type=message_type,
+        entity_kind=entity_kind,
+        valid_time=valid_time,
+        available_index=available_index,
+        channel_id=channel_id,
+        mgmt_port=mgmt_port,
+        name=rest[1 : 1 + name_len].decode("utf-8"),
+        seq=seq,
+        epoch=epoch,
+    )
+
+
+def _ref_aecp(seq, epoch, body):
+    message_type, command, status, entity_id, payload_len = _AECP.unpack(
+        body[: _AECP.size]
+    )
+    payload = body[_AECP.size :]
+    if len(payload) != payload_len:
+        raise ProtocolError("aecp packet length mismatch")
+    return AecpPacket(
+        entity_id=entity_id,
+        message_type=message_type,
+        command=command,
+        status=status,
+        payload=payload,
+        seq=seq,
+        epoch=epoch,
+    )
+
+
+def _ref_acmp(seq, epoch, body):
+    if len(body) != _ACMP.size:
+        raise ProtocolError("acmp packet length mismatch")
+    (
+        message_type, status, talker_entity_id, listener_entity_id,
+        ip_bytes, port, channel_id,
+    ) = _ACMP.unpack(body)
+    return AcmpPacket(
+        message_type=message_type,
+        talker_entity_id=talker_entity_id,
+        listener_entity_id=listener_entity_id,
+        group_ip=".".join(str(b) for b in ip_bytes),
+        port=port,
+        channel_id=channel_id,
+        status=status,
+        seq=seq,
+        epoch=epoch,
+    )
 
 
 def assert_parsers_agree(data):
@@ -163,8 +252,23 @@ def sample_packets():
             AnnounceEntry(1, "239.192.0.1", 5001, CodecID.VORBIS_LIKE,
                           "news"),
             AnnounceEntry(2, "239.192.0.2", 5002, CodecID.RAW, "lobby"),
-        )),
+        ), valid_time=2.5),
         AnnouncePacket(1),
+        AdpPacket(entity_id=0xDEADBEEF, message_type=ADP_AVAILABLE,
+                  entity_kind=ENTITY_SPEAKER, valid_time=2.0,
+                  available_index=65535, channel_id=3, mgmt_port=4998,
+                  name="es7", seq=12),
+        AdpPacket(entity_id=1, message_type=ADP_DEPARTING,
+                  entity_kind=ENTITY_REBROADCASTER, epoch=9),
+        AecpPacket(entity_id=42, message_type=AECP_COMMAND, seq=7),
+        AecpPacket(entity_id=42, message_type=AECP_RESPONSE, seq=7,
+                   payload=b"\x01descriptor-blob"),
+        AcmpPacket(message_type=ACMP_CONNECT_RX_COMMAND,
+                   talker_entity_id=1, listener_entity_id=42,
+                   group_ip="239.192.0.1", port=5001, channel_id=1,
+                   seq=3),
+        AcmpPacket(message_type=ACMP_DISCONNECT_RX_RESPONSE,
+                   listener_entity_id=42, seq=4),
     ]
 
 

@@ -1,0 +1,170 @@
+"""Property suite for the discovery timers and serial arithmetic.
+
+Two families of invariants keep the control plane churn-proof:
+
+* **lease arithmetic** — ``lease_expired`` must be exact at the boundary
+  (a refresh landing on the deadline instant still counts), monotone in
+  ``now``, and translation-invariant, so a scanner polling every
+  ``check_interval`` detects a zombie within
+  ``valid_time + check_interval`` regardless of when the lease started;
+* **available_index wraparound** — the freshness comparison is pinned to
+  the shared serial-16 helpers (``index_newer`` IS ``epoch_newer``), so
+  an advertiser that wraps past 65535 keeps looking newer and a stale
+  advert can never look fresh, exactly like producer epochs.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.protocol import (
+    AVAILABLE_INDEX_MOD,
+    EPOCH_MOD,
+    epoch_newer,
+    index_newer,
+)
+from repro.mgmt.discovery import (
+    EntityAdvertiser,
+    lease_deadline,
+    lease_expired,
+)
+
+times = st.floats(
+    min_value=0.0, max_value=1e7, allow_nan=False, allow_infinity=False
+)
+leases = st.floats(
+    min_value=1e-3, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+indices = st.integers(min_value=0, max_value=AVAILABLE_INDEX_MOD - 1)
+
+
+# -- lease arithmetic ----------------------------------------------------------
+
+
+def test_index_helpers_are_the_shared_serial16_helpers():
+    """The pin the satellite asks for: discovery freshness and producer
+    epochs share one arithmetic, one modulus, one code path."""
+    assert index_newer is epoch_newer
+    assert AVAILABLE_INDEX_MOD == EPOCH_MOD == 2 ** 16
+
+
+@given(last_seen=times, valid=leases)
+def test_boundary_instant_is_still_live(last_seen, valid):
+    deadline = lease_deadline(last_seen, valid)
+    assert not lease_expired(deadline, last_seen, valid)
+    assert not lease_expired(last_seen, last_seen, valid)
+
+
+@given(last_seen=times, valid=leases)
+def test_strictly_past_deadline_is_expired(last_seen, valid):
+    deadline = lease_deadline(last_seen, valid)
+    # the smallest representable step past the deadline already expires
+    import math
+    after = math.nextafter(deadline, math.inf)
+    assert lease_expired(after, last_seen, valid)
+    assert lease_expired(deadline + valid, last_seen, valid)
+
+
+@given(last_seen=times, valid=leases, a=times, b=times)
+def test_expiry_is_monotone_in_now(last_seen, valid, a, b):
+    early, late = min(a, b), max(a, b)
+    if lease_expired(early, last_seen, valid):
+        assert lease_expired(late, last_seen, valid)
+
+
+@given(last_seen=times, valid=leases, shift=times)
+def test_expiry_translation_invariant(last_seen, valid, shift):
+    """Shifting the whole timeline never changes the verdict — leases
+    depend on elapsed time only, not absolute simulation time."""
+    now = last_seen + 1.5 * valid
+    assert lease_expired(now, last_seen, valid) == lease_expired(
+        now + shift, last_seen + shift, valid
+    )
+
+
+@given(last_seen=times, valid=leases)
+def test_refresh_always_revives(last_seen, valid):
+    """A refresh at any ``now`` restarts the full lease from ``now``."""
+    now = last_seen + 10 * valid     # long dead
+    assert lease_expired(now, last_seen, valid)
+    assert not lease_expired(now, now, valid)
+    assert not lease_expired(now + valid, now, valid)
+
+
+@given(last_seen=times, valid=leases, check=leases)
+def test_scanner_detection_gap_is_bounded(last_seen, valid, check):
+    """A scanner polling every ``check`` seconds flags the zombie at the
+    first tick strictly past the deadline — at most ``valid + check``
+    after the last refresh (the 2×valid_time acceptance bound holds for
+    any check <= valid)."""
+    deadline = lease_deadline(last_seen, valid)
+    # the first scan tick strictly past the deadline, ticks at last_seen + k*check
+    import math
+    k = math.floor((deadline - last_seen) / check) + 1
+    tick = last_seen + k * check
+    assert lease_expired(tick, last_seen, valid) or tick == deadline
+    assert tick - last_seen <= valid + check + 1e-6 * max(1.0, valid)
+
+
+def test_valid_time_must_be_positive():
+    class _M:  # minimal machine stub; constructor validates before use
+        control_stack = object()
+    with pytest.raises(ValueError):
+        EntityAdvertiser(_M(), entity_id=1, valid_time=0.0)
+    with pytest.raises(ValueError):
+        EntityAdvertiser(_M(), entity_id=1, valid_time=-1.0)
+    with pytest.raises(ValueError):
+        EntityAdvertiser(_M(), entity_id=1, valid_time=1.0, interval=2.0)
+
+
+# -- available_index wraparound ------------------------------------------------
+
+
+@given(idx=indices)
+def test_increment_is_always_newer(idx):
+    nxt = (idx + 1) % AVAILABLE_INDEX_MOD
+    assert index_newer(nxt, idx)
+    assert not index_newer(idx, nxt)
+
+
+@given(idx=indices, step=st.integers(min_value=1,
+                                     max_value=AVAILABLE_INDEX_MOD // 2 - 1))
+def test_forward_window_is_newer_and_antisymmetric(idx, step):
+    """Any step within the forward half-window is newer, and newer-ness
+    is antisymmetric — a stale advert can never masquerade as fresh."""
+    nxt = (idx + step) % AVAILABLE_INDEX_MOD
+    assert index_newer(nxt, idx)
+    assert not index_newer(idx, nxt)
+
+
+@given(idx=indices)
+def test_equal_is_never_newer(idx):
+    assert not index_newer(idx, idx)
+
+
+@given(idx=indices)
+def test_wraparound_keeps_monotonicity(idx):
+    """Crossing 65535 -> 0 looks like a forward step, not a reset."""
+    at_edge = (idx + AVAILABLE_INDEX_MOD - 1) % AVAILABLE_INDEX_MOD
+    wrapped = (at_edge + 1) % AVAILABLE_INDEX_MOD
+    assert wrapped == (idx + AVAILABLE_INDEX_MOD) % AVAILABLE_INDEX_MOD
+    assert index_newer(wrapped, at_edge)
+
+
+@settings(max_examples=200)
+@given(start=indices,
+       bumps=st.lists(st.integers(min_value=1, max_value=3),
+                      min_size=1, max_size=64))
+def test_advertiser_bump_sequences_stay_fresh(start, bumps):
+    """Simulate an advertiser's life: every transmitted index compares
+    newer than every earlier one, across any number of wraps, as long as
+    fewer than 2**15 bumps separate the two (the serial-number window)."""
+    seq = [start]
+    for b in bumps:
+        seq.append((seq[-1] + b) % AVAILABLE_INDEX_MOD)
+    total = sum(bumps)
+    if total < AVAILABLE_INDEX_MOD // 2:
+        for earlier, later in zip(seq, seq[1:]):
+            assert index_newer(later, earlier)
+        assert index_newer(seq[-1], seq[0])
+        assert not index_newer(seq[0], seq[-1])

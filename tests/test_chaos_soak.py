@@ -370,6 +370,157 @@ def test_relay_kill_is_deterministic(fallback):
     assert fingerprint() == fingerprint()
 
 
+# -- control-plane churn under the same chaos ----------------------------------
+#
+# The ATDECC-style control plane must keep its own guarantees when the
+# entities it tracks misbehave: a zombie (advertise-then-crash, no
+# ENTITY_DEPARTING) ages out of the registry within 2x valid_time; a
+# listener that dies mid-ACMP-transaction costs a bounded, counted
+# failure, never a hang; a controller restart mid-churn repopulates from
+# live adverts and resurrects nothing dead; and a rebroadcaster crash
+# detected by lease expiry drives exactly one supervisor restart even
+# with heartbeats watching the same node.  Every scenario closes the
+# audio ledger and fingerprints bit-identically across two same-seed runs.
+
+CP_VALID = 1.0
+CP_CHECK = 0.1
+CP_MODES = ("zombie", "acmp-crash", "ctl-restart", "rb-zombie")
+CP_SEEDS = (3, 11)
+CP_SCENARIOS = [(mode, seed) for mode in CP_MODES for seed in CP_SEEDS]
+assert len(CP_SCENARIOS) == 8
+
+
+def run_churn_scenario(mode, seed):
+    from repro.sim.process import Process, Sleep, WaitProcess
+
+    system = EthernetSpeakerSystem(seed=seed)
+    producer = system.add_producer()
+    channel = system.add_channel("churn", params=LOW, compress="never")
+    rb = system.add_rebroadcaster(
+        producer, channel, control_interval=CONTROL_IVL
+    )
+    supervisor = system.add_supervisor(
+        heartbeat_interval=0.25, restart_delay=0.25
+    )
+    nodes = [system.add_speaker(channel=channel) for _ in range(3)]
+    advs = [
+        system.advertise_speaker(n, valid_time=CP_VALID) for n in nodes
+    ]
+    system.advertise_rebroadcaster(rb, valid_time=CP_VALID)
+    system.supervise_rebroadcaster(supervisor, rb)
+    controller = system.add_controller(
+        supervisor=supervisor, check_interval=CP_CHECK,
+        txn_timeout=0.1, txn_retries=3,
+    )
+    expiries = {}
+    controller.on_expired = lambda rec: expiries.setdefault(
+        rec.name, system.sim.now
+    )
+    outcome = {}
+    system.play_synthetic(producer, 8.0, LOW)
+
+    if mode == "zombie":
+        # advertise-then-crash, no goodbye: the lease is the only signal
+        system.sim.schedule(3.0, nodes[0].speaker.crash)
+        outcome["crash_at"] = 3.0
+    elif mode == "acmp-crash":
+        victim = system.add_speaker(channel=None, start=False,
+                                    name="victim")
+        system.advertise_speaker(victim, valid_time=CP_VALID)
+
+        def driver():
+            yield Sleep(3.0)
+            victim.machine.cpu.halt()   # dies as the CONNECT is issued
+            proc = system.connect_speaker(controller, victim, channel)
+            outcome["connect_ok"] = yield WaitProcess(proc)
+
+        Process.spawn(system.sim, driver(), name="churn-driver")
+        outcome["crash_at"] = 3.0
+    elif mode == "ctl-restart":
+        # churn (one clean leave, one zombie), then the controller itself
+        # bounces in the middle of it
+        system.sim.schedule(2.0, advs[1].depart)
+        system.sim.schedule(2.5, nodes[2].speaker.crash)
+        system.sim.schedule(3.0, controller.crash)
+        system.sim.schedule(3.5, controller.restart)
+        outcome["crash_at"] = 2.5
+    elif mode == "rb-zombie":
+        # the talker dies silently mid-stream: lease expiry and missed
+        # heartbeats race to notice; the latch keeps it to one restart
+        system.sim.schedule(3.0, rb.stop)
+        outcome["crash_at"] = 3.0
+
+    system.run(until=7.5)
+    return system, controller, supervisor, nodes, rb, expiries, outcome
+
+
+def _churn_fingerprint(mode, seed):
+    system, controller, supervisor, nodes, rb, expiries, outcome = \
+        run_churn_scenario(mode, seed)
+    stats = controller.stats
+    return (
+        tuple(tuple(n.stats.play_log) for n in nodes),
+        tuple(sorted(expiries.items())),
+        (stats.adp_advertises, stats.stale_adverts, stats.departs,
+         stats.expiries, stats.acmp_connects, stats.acmp_retries,
+         stats.acmp_failures, stats.restarts),
+        (supervisor.stats.restarts, supervisor.stats.lease_expiries),
+        rb.epoch,
+        outcome.get("connect_ok"),
+    ), (system, controller, supervisor, nodes, rb, expiries, outcome)
+
+
+@pytest.mark.parametrize("mode,seed", CP_SCENARIOS)
+def test_control_plane_churn_scenario(mode, seed):
+    fp1, state = _churn_fingerprint(mode, seed)
+    fp2, _ = _churn_fingerprint(mode, seed)
+    assert fp1 == fp2, "same-seed churn runs diverged"
+    system, controller, supervisor, nodes, rb, expiries, outcome = state
+
+    if mode == "zombie":
+        name = nodes[0].speaker.name
+        assert name in expiries
+        assert expiries[name] - outcome["crash_at"] <= 2 * CP_VALID
+        # the untouched speakers never expire and keep playing
+        for n in nodes[1:]:
+            assert n.speaker.name not in expiries
+            assert n.stats.play_log[-1][1] > outcome["crash_at"] + 2.0
+    elif mode == "acmp-crash":
+        assert outcome["connect_ok"] is False
+        assert controller.stats.acmp_failures == 1
+        assert controller.stats.acmp_retries == 2
+        assert "victim" in expiries
+        assert expiries["victim"] - outcome["crash_at"] <= 2 * CP_VALID
+    elif mode == "ctl-restart":
+        assert controller.stats.restarts == 1
+        live = {rec.name for rec in controller.available()}
+        # the survivor and the talker re-register from live adverts...
+        assert nodes[0].speaker.name in live
+        # ...the departed and the crashed stay dead through the bounce
+        assert nodes[1].speaker.name not in live
+        assert nodes[2].speaker.name not in live
+    elif mode == "rb-zombie":
+        assert supervisor.stats.restarts == 1          # never two
+        assert supervisor.stats.lease_expiries <= 1
+        assert rb.epoch > 0                            # restart bumped it
+        # playback resumes on every speaker after the restart window
+        for n in nodes:
+            assert n.stats.play_log[-1][1] > outcome["crash_at"] + 2.0
+
+    report = system.pipeline_report()
+    assert report.conservation_ok, (
+        f"ledger open: residual={report.conservation_residual}"
+    )
+    _report_rows.append({
+        "mode": f"control-plane/{mode}", "wire_faults": False, "seed": seed,
+        "rejoin_gaps": [],
+        "max_gap": 0.0,
+        "bound": 2 * CP_VALID,
+        "takeovers": supervisor.stats.restarts,
+        "conservation_residual": report.conservation_residual,
+    })
+
+
 def teardown_module(module):
     path = os.environ.get("CHAOS_SOAK_REPORT")
     if path and _report_rows:
