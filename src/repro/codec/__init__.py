@@ -13,7 +13,14 @@ inside the simulation (Figure 4).
 """
 
 from repro.codec.base import CodecID, get_codec
-from repro.codec.cache import DecodeCache, DecodeCacheStats, DecodedBlock
+from repro.codec.cache import (
+    DecodeCache,
+    DecodeCacheStats,
+    DecodedBlock,
+    EncodeCache,
+    EncodeCacheStats,
+    EncodedBlock,
+)
 from repro.codec.vorbislike import VorbisLikeCodec
 from repro.codec.adpcm import AdpcmCodec
 from repro.codec.mp3like import Mp3LikeCodec, Mp3LikeFile
@@ -25,6 +32,9 @@ __all__ = [
     "DecodeCache",
     "DecodeCacheStats",
     "DecodedBlock",
+    "EncodeCache",
+    "EncodeCacheStats",
+    "EncodedBlock",
     "VorbisLikeCodec",
     "AdpcmCodec",
     "Mp3LikeCodec",

@@ -1,0 +1,304 @@
+"""Whole-block band coding: every frame × band of a block in one pass.
+
+The scalar transform codecs (:mod:`repro.codec.vorbislike`,
+:mod:`repro.codec.mp3like`) loop over frames and bands in Python,
+quantising and packing each band slice on its own.  At station scale —
+tens of channels encoding concurrently on one origin machine — those
+loops are the dominant host cost.  This module is the batched engine
+both codecs share:
+
+* :func:`encode_bands_batched` quantises all frames × bands of a block
+  as 2-D numpy ops, picks per-band Rice parameters and fixed widths
+  vectorised, and assembles the whole bitstream with **one**
+  ``np.packbits`` pass (headers are scattered into the packed bytes
+  afterwards — their bit positions are zero in the bitplane by
+  construction).
+* :func:`decode_bands_batched` walks only the band *descriptors* in
+  Python (a few dozen tag bytes per frame), then recovers every
+  fixed-width band of the block from a single ``np.unpackbits`` of the
+  payload; Rice bands go through the vectorised
+  :func:`~repro.codec.rice.rice_decode`.
+
+Wire bytes and decoded samples are **bit-identical** to the scalar
+reference coders — that is the contract ``tests/codec/
+test_batch_differential.py`` pins, and why the quantiser reproduces the
+reference arithmetic operation by operation (``np.ldexp`` powers of two,
+the same ``ceil``/``log2`` elementwise ufuncs, integer-exact size sums).
+
+Malformed streams are the reference walker's job: anything structurally
+anomalous (width > 16, truncated descriptors, oversized Rice payloads)
+raises :class:`BatchFallback` so the caller can re-run the scalar path
+and reproduce its exact error — corrupt-packet behaviour under the
+seeded fault matrices must not change by a single counter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codec import rice
+from repro.codec.bitpack import packed_size
+
+
+class BatchFallback(Exception):
+    """The batched kernel cannot reproduce the scalar semantics for this
+    input; the caller must re-run the per-band reference path."""
+
+
+def _expand(per_band: np.ndarray, band_of: np.ndarray) -> np.ndarray:
+    """Broadcast a per-(frame, band) array to per-(frame, bin)."""
+    return per_band[:, band_of]
+
+
+def encode_bands_batched(
+    coeffs: np.ndarray,
+    edges: np.ndarray,
+    widths: np.ndarray,
+    *,
+    min_width: int = 1,
+    use_rice: bool = False,
+) -> bytes:
+    """Encode all frames of a block, byte-identical to the scalar coders.
+
+    Parameters
+    ----------
+    coeffs:
+        ``(frames, n_bins)`` float64 transform coefficients.
+    edges:
+        band boundaries; band *b* covers ``edges[b]:edges[b+1]``.
+    widths:
+        ``(frames, n_bands)`` quantiser widths (bits per coefficient).
+    min_width:
+        bands below this width are inactive (``b"\\x00"`` parts): 1 for
+        the VorbisLike allocator (which never emits width 1), 2 for the
+        Mp3Like ladder.
+    use_rice:
+        offer each active band the adaptive Rice option, exactly like
+        ``entropy="rice"``.
+    """
+    coeffs = np.asarray(coeffs, dtype=np.float64)
+    n_frames, n_bins = coeffs.shape
+    if n_frames == 0:
+        return b""
+    if not np.isfinite(coeffs).all():
+        # the scalar path raises converting inf/nan exponents to int;
+        # let it, with its exact exception
+        raise BatchFallback("non-finite coefficients")
+    edges = np.asarray(edges, dtype=np.int64)
+    counts = np.diff(edges)
+    n_bands = len(counts)
+    band_of = np.repeat(np.arange(n_bands), counts)
+    bin_in_band = np.arange(n_bins) - np.repeat(edges[:-1], counts)
+
+    widths = np.asarray(widths, dtype=np.int64)
+    amax = np.maximum.reduceat(np.abs(coeffs), edges[:-1], axis=-1)
+    active = (widths >= min_width) & (amax > 0.0)
+
+    top = (1 << (np.maximum(widths, 1) - 1)) - 1
+    # exponent = ceil(log2(amax / top)), clipped — elementwise ufuncs,
+    # identical to the per-band scalar expression (log2 of inactive
+    # bands' garbage is clipped away and masked to 0)
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        exponent = np.ceil(np.log2(amax / top))
+    exponent = np.where(active, np.clip(exponent, -120, 120), 0.0)
+    exponent = exponent.astype(np.int64)
+    # 2.0 ** e as an exact power of two (ldexp by definition; the scalar
+    # path's float pow is exact over |e| <= 120 as well)
+    step = np.ldexp(1.0, exponent)
+
+    top_e = _expand(top, band_of)
+    q = np.clip(
+        np.round(coeffs / _expand(step, band_of)), -top_e - 1, top_e
+    ).astype(np.int64)
+
+    fixed_bytes = (widths * counts + 7) // 8
+
+    if use_rice:
+        u = rice.zigzag(q)
+        uf = u.astype(np.float64)  # values < 2**17: conversion is exact
+        usums = np.add.reduceat(uf, edges[:-1], axis=-1)
+        means = usums / counts
+        with np.errstate(divide="ignore"):
+            k = np.floor(np.log2(means + 1.0))
+        k = np.where(means < 1.0, 0, np.clip(k, 0, 30)).astype(np.int64)
+        k_e = _expand(k, band_of).astype(np.uint64)
+        elem_bits = (u >> k_e).astype(np.int64) + 1 + _expand(k, band_of)
+        band_bits = np.add.reduceat(elem_bits, edges[:-1], axis=-1)
+        rice_bytes = (band_bits + 7) // 8
+        choose_rice = active & (rice_bytes + 2 < fixed_bytes)
+        if choose_rice.any() and int(rice_bytes[choose_rice].max()) > 0xFFFF:
+            raise BatchFallback("rice payload exceeds u16 length field")
+    else:
+        choose_rice = np.zeros_like(active)
+        rice_bytes = fixed_bytes  # unused
+
+    fixed = active & ~choose_rice
+    sizes = np.where(
+        fixed, 2 + fixed_bytes, np.where(choose_rice, 4 + rice_bytes, 1)
+    )
+    flat_sizes = sizes.reshape(-1)
+    part_starts = np.concatenate(
+        [[0], np.cumsum(flat_sizes)[:-1]]
+    ).reshape(n_frames, n_bands)
+    total = int(flat_sizes.sum())
+    bits = np.zeros(total * 8, dtype=np.uint8)
+
+    # -- fixed-width bands: offset-binary, MSB first ------------------------
+    fixed_e = _expand(fixed, band_of).reshape(-1)
+    if fixed_e.any():
+        w_e = _expand(widths, band_of).reshape(-1)[fixed_e]
+        off_vals = (
+            q.reshape(-1)[fixed_e] + (1 << (w_e - 1))
+        ).astype(np.int64)
+        field_start = (
+            (_expand(part_starts, band_of) + 2) * 8
+            + bin_in_band[None, :] * _expand(widths, band_of)
+        ).reshape(-1)[fixed_e]
+        for t in range(int(w_e.max())):
+            sel = w_e > t
+            ones = (off_vals[sel] >> (w_e[sel] - 1 - t)) & 1
+            pos = field_start[sel] + t
+            bits[pos[ones == 1]] = 1
+
+    # -- Rice bands: unary quotient + k-bit remainder -----------------------
+    if use_rice:
+        rice_e = _expand(choose_rice, band_of).reshape(-1)
+        if rice_e.any():
+            u_sel = u.reshape(-1)[rice_e]
+            k_sel = _expand(k, band_of).reshape(-1)[rice_e]
+            qq = (u_sel >> k_sel.astype(np.uint64)).astype(np.int64)
+            lengths = qq + 1 + k_sel
+            # exclusive cumsum of bit lengths, restarted per band
+            grp = (
+                np.arange(n_frames)[:, None] * n_bands + band_of[None, :]
+            ).reshape(-1)[rice_e]
+            ex = np.cumsum(lengths) - lengths
+            first = np.empty(len(grp), dtype=bool)
+            first[0] = True
+            first[1:] = grp[1:] != grp[:-1]
+            ex = ex - ex[first][np.cumsum(first) - 1]
+            elem_start = (
+                (_expand(part_starts, band_of).reshape(-1)[rice_e] + 4) * 8
+                + ex
+            )
+            bits[elem_start + qq] = 1
+            kmax = int(k_sel.max())
+            for j in range(kmax):
+                sel = k_sel > j
+                ones = (
+                    u_sel[sel] >> (k_sel[sel] - 1 - j).astype(np.uint64)
+                ) & np.uint64(1)
+                pos = elem_start[sel] + qq[sel] + 1 + j
+                bits[pos[ones == np.uint64(1)]] = 1
+
+    # -- one packbits pass, then scatter the headers ------------------------
+    out = np.packbits(bits)
+    ps = part_starts.reshape(-1)
+    fixed_f = fixed.reshape(-1)
+    w_f = widths.reshape(-1)
+    e_f = exponent.reshape(-1)
+    out[ps[fixed_f]] = w_f[fixed_f]
+    out[ps[fixed_f] + 1] = e_f[fixed_f] & 0xFF
+    if use_rice:
+        rice_f = choose_rice.reshape(-1)
+        nb = rice_bytes.reshape(-1)
+        out[ps[rice_f]] = 0x80 | k.reshape(-1)[rice_f]
+        out[ps[rice_f] + 1] = e_f[rice_f] & 0xFF
+        out[ps[rice_f] + 2] = nb[rice_f] & 0xFF
+        out[ps[rice_f] + 3] = (nb[rice_f] >> 8) & 0xFF
+    return out.tobytes()
+
+
+def decode_bands_batched(
+    data: bytes,
+    offset: int,
+    n_frames: int,
+    edges: np.ndarray,
+    *,
+    rice_tags: bool = True,
+) -> tuple:
+    """Decode ``n_frames`` frames of band parts starting at ``offset``.
+
+    Returns ``(values, end_offset)`` with ``values`` of shape
+    ``(n_frames, n_bins)``; inactive bands stay zero.  Structural
+    anomalies — the situations where the scalar walker's *error* is the
+    contract — raise :class:`BatchFallback`.  Rice-band payloads go
+    through :func:`repro.codec.rice.rice_decode`, which reproduces the
+    walker's truncation semantics itself.
+    """
+    edges = np.asarray(edges, dtype=np.int64)
+    counts_by_band = np.diff(edges)
+    n_bands = len(counts_by_band)
+    n_bins = int(edges[-1])
+    values = np.zeros((n_frames, n_bins))
+    end = len(data)
+
+    f_idx: list = []
+    b_idx: list = []
+    f_width: list = []
+    f_exp: list = []
+    f_off: list = []
+    rice_parts: list = []
+    counts_list = counts_by_band.tolist()
+    edges_list = edges.tolist()
+    for f in range(n_frames):
+        for b in range(n_bands):
+            if offset >= end:
+                raise BatchFallback("descriptor past end of data")
+            tag = data[offset]
+            offset += 1
+            if tag == 0:
+                continue
+            if offset >= end:
+                raise BatchFallback("descriptor past end of data")
+            exp = data[offset]
+            if exp > 127:
+                exp -= 256
+            offset += 1
+            count = counts_list[b]
+            if rice_tags and tag & 0x80:
+                kk = tag & 0x7F
+                if offset + 2 > end:
+                    raise BatchFallback("descriptor past end of data")
+                nbytes = data[offset] | (data[offset + 1] << 8)
+                offset += 2
+                rice_parts.append(
+                    (f, b, exp, kk, data[offset : offset + nbytes], count)
+                )
+            else:
+                if tag > 16:
+                    raise BatchFallback("fixed width out of range")
+                nbytes = packed_size(tag, count)
+                if offset + nbytes > end:
+                    raise BatchFallback("fixed payload truncated")
+                f_idx.append(f)
+                b_idx.append(b)
+                f_width.append(tag)
+                f_exp.append(exp)
+                f_off.append(offset)
+            offset += nbytes
+
+    for f, b, exp, kk, payload, count in rice_parts:
+        q = rice.rice_decode(payload, kk, count)
+        values[f, edges_list[b] : edges_list[b + 1]] = q * (2.0**exp)
+
+    if f_idx:
+        bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8))
+        barr = np.array(b_idx, dtype=np.int64)
+        cnts = counts_by_band[barr]
+        w_e = np.repeat(np.array(f_width, dtype=np.int64), cnts)
+        within = np.concatenate([np.arange(c) for c in cnts.tolist()])
+        start = np.repeat(np.array(f_off, dtype=np.int64) * 8, cnts)
+        start = start + within * w_e
+        val = np.zeros(len(w_e), dtype=np.int64)
+        for t in range(int(w_e.max())):
+            sel = w_e > t
+            val[sel] = (val[sel] << 1) | bits[start[sel] + t]
+        q = val - (1 << (w_e - 1))
+        scale = np.repeat(
+            np.ldexp(1.0, np.array(f_exp, dtype=np.int64)), cnts
+        )
+        rows = np.repeat(np.array(f_idx, dtype=np.int64), cnts)
+        cols = np.repeat(edges[barr], cnts) + within
+        values[rows, cols] = q * scale
+    return values, offset

@@ -1,4 +1,4 @@
-"""Shared-decode cache: decode each multicast payload once per LAN.
+"""Shared codec caches: decode (and encode) each payload once per host.
 
 The paper's producer "does not need to maintain any state for the Ethernet
 Speakers that listen in" (§2.3): adding a listener is free on the wire.  In
@@ -18,9 +18,16 @@ the *speaker-independent* part of the decode — the unity-gain PCM bytes and
 the block's RMS level — so per-speaker transforms (gain, room coupling)
 still run privately and bypass the cache entirely.
 
+:class:`EncodeCache` is the origin-side mirror: a broadcasting station
+looping a playlist, or fanning the same source into several channels,
+re-encodes byte-identical raw payloads over and over.  The cache keys on
+the raw payload digest plus codec id, parameters and quality, and stores
+the finished wire bytes — identical input through an identical encoder
+configuration is the only way to share an entry.
+
 Virtual time is untouched: a cache hit skips the host-side numpy work only;
-the simulated CPU cycles for the decode are charged by the speaker exactly
-as on a miss, so batched and unbatched runs are bit-identical in sim time.
+the simulated CPU cycles for the decode (or encode) are charged exactly as
+on a miss, so cached and uncached runs are bit-identical in sim time.
 """
 
 from __future__ import annotations
@@ -112,6 +119,92 @@ class DecodeCache:
         return entry
 
     def put(self, key: Tuple, entry: DecodedBlock) -> None:
+        entries = self._entries
+        entries[key] = entry
+        entries.move_to_end(key)
+        if len(entries) > self.max_entries:
+            entries.popitem(last=False)
+            self.stats.evictions += 1
+            self._c_evictions.inc()
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+@dataclass
+class EncodeCacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class EncodedBlock:
+    """The shareable result of encoding one raw payload."""
+
+    #: finished wire bytes, exactly as the encoder emitted them
+    wire: bytes
+
+
+class EncodeCache:
+    """Bounded LRU of :class:`EncodedBlock` entries, keyed on raw input.
+
+    Mirrors :class:`DecodeCache` on the origin side.  The key carries the
+    raw-payload blake2b digest *and* the codec id, the full audio
+    parameters, and the encoder quality knob: two channels encoding the
+    same source at different qualities (or with different codecs) can
+    never share wire bytes.  Paths whose output is not a pure function of
+    ``(payload, codec, params, quality)`` — RAW passthrough, synthetic
+    size estimation — must bypass the cache entirely.
+    """
+
+    def __init__(self, max_entries: int = 256, telemetry=None, name: str = ""):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1: {max_entries}")
+        if telemetry is None:
+            from repro.metrics.telemetry import get_telemetry
+
+            telemetry = get_telemetry()
+        self.max_entries = max_entries
+        self.name = name
+        self.stats = EncodeCacheStats()
+        label = f"[{name}]" if name else ""
+        self._c_hits = telemetry.counter(f"codec.encode_cache.hits{label}")
+        self._c_misses = telemetry.counter(
+            f"codec.encode_cache.misses{label}"
+        )
+        self._c_evictions = telemetry.counter(
+            f"codec.encode_cache.evictions{label}"
+        )
+        self._entries: "OrderedDict[Tuple, EncodedBlock]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def key_for(payload, codec_id, params, quality) -> Tuple:
+        """Key for ``payload`` encoded as ``codec_id``/``params`` at
+        ``quality`` (the codec's rate knob: quality index or kbps)."""
+        digest = hashlib.blake2b(payload, digest_size=16).digest()
+        return (digest, len(payload), int(codec_id), params, quality)
+
+    def get(self, key: Tuple) -> Optional[EncodedBlock]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            self._c_misses.inc()
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        self._c_hits.inc()
+        return entry
+
+    def put(self, key: Tuple, entry: EncodedBlock) -> None:
         entries = self._entries
         entries[key] = entry
         entries.move_to_end(key)

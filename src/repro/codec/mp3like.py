@@ -21,6 +21,11 @@ from scipy.fft import dct, idct
 
 from repro.codec import bitpack
 from repro.codec.base import BlockCodec, CodecID, register_codec
+from repro.codec.batch import (
+    BatchFallback,
+    decode_bands_batched,
+    encode_bands_batched,
+)
 
 _BLOCK = 576  # samples per transform block, MP3's granule size
 _HEADER = struct.Struct("<BBHI")  # codec, channels, kbps, num_samples
@@ -53,12 +58,15 @@ class Mp3LikeCodec(BlockCodec):
 
     codec_id = CodecID.MP3_LIKE
 
-    def __init__(self, bitrate_kbps: int = 192):
+    def __init__(self, bitrate_kbps: int = 192, batched: bool = True):
         if bitrate_kbps not in SUPPORTED_KBPS:
             raise ValueError(
                 f"bitrate {bitrate_kbps} not in ladder {SUPPORTED_KBPS}"
             )
         self.bitrate_kbps = bitrate_kbps
+        #: whole-block kernels from :mod:`repro.codec.batch`; the scalar
+        #: ``_reference_*`` loops remain the bit-exact oracle/fallback
+        self.batched = batched
 
     def encode_block(self, samples: np.ndarray) -> bytes:
         x = np.asarray(samples, dtype=np.float64)
@@ -74,14 +82,37 @@ class Mp3LikeCodec(BlockCodec):
                 int(self.codec_id), channels, self.bitrate_kbps, num_samples
             )
         ]
-        for ch in range(channels):
-            blocks = padded[:, ch].reshape(-1, _BLOCK)
-            spectra = dct(blocks, type=2, axis=1, norm="ortho")
+        spectra_list = [
+            dct(padded[:, ch].reshape(-1, _BLOCK), type=2, axis=1,
+                norm="ortho")
+            for ch in range(channels)
+        ]
+        if self.batched:
+            try:
+                # channels stacked block-major matches the wire order
+                all_spec = np.concatenate(spectra_list, axis=0)
+                body = encode_bands_batched(
+                    all_spec,
+                    _EDGES,
+                    np.broadcast_to(
+                        widths, (all_spec.shape[0], len(_EDGES) - 1)
+                    ),
+                    min_width=2,
+                    use_rice=False,
+                )
+                return parts[0] + body
+            except BatchFallback:
+                pass
+        for spectra in spectra_list:
             for spec in spectra:
-                parts.append(self._encode_spectrum(spec, widths))
+                parts.append(self._reference_encode_spectrum(spec, widths))
         return b"".join(parts)
 
-    def _encode_spectrum(self, spec: np.ndarray, widths: np.ndarray) -> bytes:
+    def _reference_encode_spectrum(
+        self, spec: np.ndarray, widths: np.ndarray
+    ) -> bytes:
+        """Scalar per-band loop the batched kernel must match byte for
+        byte; also the fallback for inputs the kernel refuses."""
         parts = []
         for b in range(len(_EDGES) - 1):
             width = int(widths[b])
@@ -106,18 +137,38 @@ class Mp3LikeCodec(BlockCodec):
         codec, channels, kbps, num_samples = _HEADER.unpack_from(data, 0)
         if codec != int(self.codec_id):
             raise ValueError(f"not an mp3like block (codec id {codec})")
-        offset = _HEADER.size
         num_blocks = (num_samples + _BLOCK - 1) // _BLOCK
+        spectra_list = None
+        if self.batched:
+            try:
+                spectra_list = []
+                offset = _HEADER.size
+                for _ in range(channels):
+                    spectra, offset = decode_bands_batched(
+                        data, offset, num_blocks, _EDGES, rice_tags=False
+                    )
+                    spectra_list.append(spectra)
+            except BatchFallback:
+                # malformed stream: reproduce the reference walker's
+                # exact error by re-decoding from the block start
+                spectra_list = None
+        if spectra_list is None:
+            spectra_list = []
+            offset = _HEADER.size
+            for _ in range(channels):
+                spectra = np.zeros((num_blocks, _BLOCK))
+                for blk in range(num_blocks):
+                    offset = self._reference_decode_spectrum(
+                        data, offset, spectra[blk]
+                    )
+                spectra_list.append(spectra)
         planes = []
-        for _ in range(channels):
-            spectra = np.zeros((num_blocks, _BLOCK))
-            for blk in range(num_blocks):
-                offset = self._decode_spectrum(data, offset, spectra[blk])
+        for spectra in spectra_list:
             plane = idct(spectra, type=2, axis=1, norm="ortho").reshape(-1)
             planes.append(plane[:num_samples])
         return np.clip(np.stack(planes, axis=1), -1.0, 1.0)
 
-    def _decode_spectrum(
+    def _reference_decode_spectrum(
         self, data: bytes, offset: int, out: np.ndarray
     ) -> int:
         for b in range(len(_EDGES) - 1):

@@ -65,9 +65,10 @@ class PsychoModel:
         self._spread = 10.0 ** (-self.SPREAD_DB_PER_BARK * distance / 10.0)
 
     def band_energies(self, coeffs: np.ndarray) -> np.ndarray:
-        """Mean power per band for one frame of MDCT coefficients."""
+        """Mean power per band; ``coeffs`` may be one frame ``(n_bins,)``
+        or a whole block ``(frames, n_bins)`` (bands on the last axis)."""
         power = coeffs * coeffs
-        sums = np.add.reduceat(power, self.edges[:-1])
+        sums = np.add.reduceat(power, self.edges[:-1], axis=-1)
         counts = np.diff(self.edges)
         return sums / counts
 
@@ -77,8 +78,17 @@ class PsychoModel:
 
     def masking_threshold(self, energies: np.ndarray) -> np.ndarray:
         """Per-band masked threshold: spread energies, dropped by the
-        masking offset, floored at the threshold in quiet."""
-        spread = self._spread @ energies
+        masking offset, floored at the threshold in quiet.
+
+        ``energies`` is ``(n_bands,)`` or ``(frames, n_bands)``.  The
+        spreading matrix is applied as a broadcast multiply plus a
+        last-axis reduction instead of ``@``: BLAS picks different
+        kernels (and rounding orders) for matrix-vector and
+        matrix-matrix shapes, and the batched encode path must allocate
+        bit-identically to the per-frame reference path.
+        """
+        e = np.asarray(energies, dtype=np.float64)
+        spread = (self._spread * e[..., None, :]).sum(axis=-1)
         threshold = spread * 10.0 ** (-self.MASK_DROP_DB / 10.0)
         return np.maximum(threshold, self.QUIET_POWER)
 

@@ -3,9 +3,12 @@
 The fixed-width band packing in :mod:`repro.codec.vorbislike` is fast but
 pays the band's worst case for every coefficient.  Rice coding (unary
 quotient + k-bit remainder) exploits the Laplacian shape of quantised
-MDCT residue — the same trick FLAC and Shorten use.  Encoding is fully
-vectorised; decoding walks the bitstream (bands are small, and the
-decoder runs only where waveform fidelity is being checked).
+MDCT residue — the same trick FLAC and Shorten use.  Both directions are
+fully vectorised: encoding scatters unary/remainder bits into one
+bitplane, decoding recovers the unary terminators with a cumsum over
+``unpackbits`` plus binary lifting (the scalar walk survives as
+:func:`_reference_rice_decode`, the oracle the differential tests pin
+the vector path against).
 
 Signed values are zigzag-mapped to unsigned first.
 """
@@ -61,8 +64,10 @@ def rice_encode(values: np.ndarray, k: int) -> bytes:
     return np.packbits(bits).tobytes()
 
 
-def rice_decode(data: bytes, k: int, count: int) -> np.ndarray:
-    """Inverse of :func:`rice_encode`; returns ``count`` signed ints."""
+def _reference_rice_decode(data: bytes, k: int, count: int) -> np.ndarray:
+    """The scalar per-bit walk :func:`rice_decode` must match exactly —
+    including its lenient handling of truncated ``k == 0`` streams and
+    the ``ValueError`` a truncated remainder raises."""
     if count == 0:
         return np.zeros(0, dtype=np.int64)
     bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8))
@@ -83,6 +88,75 @@ def rice_decode(data: bytes, k: int, count: int) -> np.ndarray:
             pos += 1
         out[i] = (q << k) | remainder
     return unzigzag(out)
+
+
+def rice_decode(data: bytes, k: int, count: int) -> np.ndarray:
+    """Inverse of :func:`rice_encode`; returns ``count`` signed ints.
+
+    Vectorised unary scan: a cumsum over the unpacked bitplane counts
+    the ones, and because value *i*'s remainder always ends ``k`` bits
+    after its terminating one, the index of the next terminator is a
+    pure function of the previous one's — iterated for all values at
+    once by binary lifting instead of walking bit by bit.  ``k > 30``
+    (which :func:`rice_encode` never emits, but hostile band headers can
+    claim) keeps the reference walk's exotic overflow semantics by
+    delegating to it.
+    """
+    if count == 0:
+        return np.zeros(0, dtype=np.int64)
+    if k > 30:
+        return _reference_rice_decode(data, k, count)
+    bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8))
+    n_bits = len(bits)
+    ones = np.flatnonzero(bits)
+    m = len(ones)
+    if k == 0:
+        # no remainders: value i is the gap between terminators i-1 and
+        # i.  Truncation is lenient, exactly like the walk: running off
+        # the end yields one final zero-run value, then zeros.
+        out = np.zeros(count, dtype=np.uint64)
+        take = min(count, m)
+        if take:
+            out[:take] = (np.diff(ones[:take], prepend=-1) - 1).astype(
+                np.uint64
+            )
+        if count > m:
+            tail_start = int(ones[m - 1]) + 1 if m else 0
+            out[m] = n_bits - tail_start
+        return unzigzag(out)
+    if m == 0:
+        raise ValueError("rice stream truncated")
+    # ones_before[j] = ones in bits[0..j]; value i's terminator is the
+    # c_i-th one with c_{i+1} = ones_before[ones[c_i] + k] and c_0 = 0
+    # (skip the k remainder bits, count the ones they swallowed).  State
+    # m absorbs "ran out of terminators" — truncated, like the walk.
+    ones_before = np.cumsum(bits)
+    nxt = np.full(m + 1, m, dtype=np.int64)
+    reachable = ones + k < n_bits
+    nxt[:m][reachable] = ones_before[ones[reachable] + k]
+    c = np.zeros(count, dtype=np.int64)
+    if count > 1:
+        idx = np.arange(count)
+        jump = nxt
+        for s in range((count - 1).bit_length()):
+            hop = ((idx >> s) & 1).astype(bool)
+            c[hop] = jump[c[hop]]
+            jump = jump[jump]
+    if (c >= m).any():
+        raise ValueError("rice stream truncated")
+    term = ones[c]
+    if int(term[-1]) + k >= n_bits:
+        # terminators are increasing, so only the last value's remainder
+        # can run off the end
+        raise ValueError("rice stream truncated")
+    starts = np.empty(count, dtype=np.int64)
+    starts[0] = 0
+    starts[1:] = term[:-1] + 1 + k
+    q = (term - starts).astype(np.uint64)
+    rem = np.zeros(count, dtype=np.uint64)
+    for j in range(k):
+        rem = (rem << np.uint64(1)) | bits[term + 1 + j].astype(np.uint64)
+    return unzigzag((q << np.uint64(k)) | rem)
 
 
 def rice_size_bytes(values: np.ndarray, k: int) -> int:

@@ -20,6 +20,11 @@ import numpy as np
 
 from repro.codec import bitpack, rice
 from repro.codec.base import BlockCodec, CodecID, register_codec
+from repro.codec.batch import (
+    BatchFallback,
+    decode_bands_batched,
+    encode_bands_batched,
+)
 from repro.codec.mdct import mdct_analysis, mdct_synthesis
 from repro.codec.psycho import PsychoModel
 
@@ -53,6 +58,7 @@ class VorbisLikeCodec(BlockCodec):
         frame_size: int = 512,
         entropy: str = "fixed",
         window_switching: bool = False,
+        batched: bool = True,
     ):
         if not 0 <= quality <= 10:
             raise ValueError(f"quality must be 0..10: {quality}")
@@ -72,6 +78,11 @@ class VorbisLikeCodec(BlockCodec):
         #: Rice-coded residue (smaller, FLAC-style).  The decoder handles
         #: both regardless of this setting — each band is tagged.
         self.entropy = entropy
+        #: whole-block vectorised kernels (:mod:`repro.codec.batch`);
+        #: bit-identical to the per-frame reference loops, which survive
+        #: as ``_reference_*`` and handle the inputs the batch kernels
+        #: refuse (non-finite coefficients, malformed streams)
+        self.batched = batched
         self._log2n = frame_size.bit_length() - 1
 
     # -- encoding ---------------------------------------------------------------
@@ -90,13 +101,12 @@ class VorbisLikeCodec(BlockCodec):
 
         frame_size = self._pick_frame_size(planes)
         model = _model(self.sample_rate, frame_size)
-        chunks = []
+        coeffs_list = []
         num_frames = 0
         for plane in planes:
             coeffs, _ = mdct_analysis(plane, frame_size)
             num_frames = coeffs.shape[0]
-            for frame in coeffs:
-                chunks.append(self._encode_frame(frame, model))
+            coeffs_list.append(coeffs)
         header = _HEADER.pack(
             int(self.codec_id),
             self.quality,
@@ -105,6 +115,27 @@ class VorbisLikeCodec(BlockCodec):
             num_samples,
             num_frames,
         )
+        if self.batched:
+            try:
+                # planes stacked frame-major preserves the wire order:
+                # every frame of the mid plane, then every side frame
+                all_coeffs = np.concatenate(coeffs_list, axis=0)
+                energies = model.band_energies(all_coeffs)
+                widths = model.allocate_widths(energies, self.quality)
+                body = encode_bands_batched(
+                    all_coeffs,
+                    model.edges,
+                    widths,
+                    min_width=1,
+                    use_rice=self.entropy == "rice",
+                )
+                return header + body
+            except BatchFallback:
+                pass
+        chunks = []
+        for coeffs in coeffs_list:
+            for frame in coeffs:
+                chunks.append(self._reference_encode_frame(frame, model))
         return header + b"".join(chunks)
 
     #: a segment this much louder than the block's quiet parts is an attack
@@ -129,7 +160,11 @@ class VorbisLikeCodec(BlockCodec):
             return short
         return self.frame_size
 
-    def _encode_frame(self, frame: np.ndarray, model: PsychoModel) -> bytes:
+    def _reference_encode_frame(
+        self, frame: np.ndarray, model: PsychoModel
+    ) -> bytes:
+        """Scalar per-band loop the batched kernel must match byte for
+        byte; also the fallback for inputs the kernel refuses."""
         energies = model.band_energies(frame)
         widths = model.allocate_widths(energies, self.quality)
         parts = []
@@ -178,13 +213,30 @@ class VorbisLikeCodec(BlockCodec):
             raise ValueError(f"not a vorbislike block (codec id {codec})")
         n = 1 << log2n
         model = _model(self.sample_rate, n)
-        offset = _HEADER.size
-        planes = []
-        for _ in range(channels):
-            coeffs = np.zeros((num_frames, n))
-            for f in range(num_frames):
-                offset = self._decode_frame(data, offset, coeffs[f], model)
-            planes.append(mdct_synthesis(coeffs, num_samples))
+        planes = None
+        if self.batched:
+            try:
+                planes = []
+                offset = _HEADER.size
+                for _ in range(channels):
+                    coeffs, offset = decode_bands_batched(
+                        data, offset, num_frames, model.edges
+                    )
+                    planes.append(mdct_synthesis(coeffs, num_samples))
+            except BatchFallback:
+                # malformed stream: the reference walker's exact error
+                # is the contract, so re-decode from the block start
+                planes = None
+        if planes is None:
+            offset = _HEADER.size
+            planes = []
+            for _ in range(channels):
+                coeffs = np.zeros((num_frames, n))
+                for f in range(num_frames):
+                    offset = self._reference_decode_frame(
+                        data, offset, coeffs[f], model
+                    )
+                planes.append(mdct_synthesis(coeffs, num_samples))
         if channels == 2:
             mid, side = planes
             out = np.stack([mid + side, mid - side], axis=1)
@@ -192,7 +244,7 @@ class VorbisLikeCodec(BlockCodec):
             out = planes[0][:, None]
         return np.clip(out, -1.0, 1.0)
 
-    def _decode_frame(
+    def _reference_decode_frame(
         self, data: bytes, offset: int, out: np.ndarray, model: PsychoModel
     ) -> int:
         for b in range(model.n_bands):
@@ -208,7 +260,7 @@ class VorbisLikeCodec(BlockCodec):
                 k = tag & 0x7F
                 (nbytes,) = struct.unpack_from("<H", data, offset)
                 offset += 2
-                q = rice.rice_decode(
+                q = rice._reference_rice_decode(
                     data[offset : offset + nbytes], k, count
                 )
             else:  # fixed-width band

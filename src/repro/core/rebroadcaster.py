@@ -23,11 +23,12 @@ from typing import Optional
 from repro.audio.encodings import decode_samples
 from repro.audio.params import AudioParams
 from repro.codec.base import CodecID, get_codec
+from repro.codec.cache import EncodeCache, EncodedBlock
 from repro.codec.cost import DEFAULT_COSTS, estimated_ratio
 from repro.core.channel import ChannelConfig
 from repro.core.protocol import EPOCH_MOD, SEQ_MOD, ControlPacket, DataPacket
 from repro.core.ratelimiter import RateLimiter
-from repro.metrics.telemetry import get_telemetry
+from repro.metrics.telemetry import DEFAULT_DEPTH_BUCKETS, get_telemetry
 from repro.sim.process import Process, Sleep
 from repro.sim.resources import QueueClosed
 
@@ -76,6 +77,8 @@ class Rebroadcaster:
         cost_model=None,
         telemetry=None,
         epoch: int = 0,
+        encode_cache: Optional[EncodeCache] = None,
+        batched_encode: bool = True,
     ):
         self.machine = machine
         self.channel = channel
@@ -87,6 +90,14 @@ class Rebroadcaster:
         self.master_path = master_path
         self.authenticator = authenticator
         self.costs = cost_model or DEFAULT_COSTS
+        #: station-wide :class:`~repro.codec.cache.EncodeCache` (or None):
+        #: looped sources and same-source multi-channel setups reuse wire
+        #: bytes instead of re-encoding.  Host-side only — the virtual
+        #: CPU is charged the full encode cost before the lookup.
+        self.encode_cache = encode_cache
+        #: run the codecs' whole-block vectorised kernels (bit-identical
+        #: to the scalar reference loops; see ``repro.codec.batch``)
+        self.batched_encode = batched_encode
         self.stats = RebroadcasterStats()
         # cached instruments: one label per channel so system-level
         # conservation can sum with Telemetry.total(); with telemetry
@@ -99,6 +110,11 @@ class Rebroadcaster:
         self._c_wire = tel.counter(f"rebroadcaster.sent_bytes[{label}]")
         self._c_susp = tel.counter(f"rebroadcaster.suspended[{label}]")
         self._c_fail = tel.counter(f"rebroadcaster.send_failures[{label}]")
+        #: frames per real encoder invocation — cache hits and synthetic
+        #: estimates don't run the kernel, so they are not observed
+        self._h_batch = tel.histogram(
+            "origin.encode_batch", bounds=DEFAULT_DEPTH_BUCKETS
+        )
         self.suspended = False
         #: producer incarnation stamped into every packet; a warm standby
         #: taking over (or an operator restarting the producer) bumps it
@@ -221,9 +237,15 @@ class Rebroadcaster:
                     quality=self.channel.quality,
                     sample_rate=params.sample_rate,
                     frame_size=frame_size,
+                    batched=self.batched_encode,
                 )
         elif self._encoder is None:
-            self._encoder = get_codec(self._codec_id)
+            if self._codec_id == CodecID.MP3_LIKE:
+                self._encoder = get_codec(
+                    self._codec_id, batched=self.batched_encode
+                )
+            else:
+                self._encoder = get_codec(self._codec_id)
         return self._encoder
 
     def _handle_data(self, sock, payload: bytes):
@@ -293,11 +315,28 @@ class Rebroadcaster:
         if cycles > 0:
             yield machine.cpu.run(cycles, domain="user")
         if codec_id == CodecID.RAW:
+            # passthrough: no encoder ran, nothing cacheable
             return payload, False
         encoder = self._get_encoder(params, len(payload))
         if encoder is not None:
+            # the virtual CPU was charged the full encode above, so a
+            # cache hit changes host wall-clock only — never sim time
+            cache = self.encode_cache
+            if cache is not None:
+                key = EncodeCache.key_for(
+                    payload, codec_id, params, self.channel.quality
+                )
+                entry = cache.get(key)
+                if entry is not None:
+                    return entry.wire, False
             samples = decode_samples(payload, params)
-            return encoder.encode_block(samples), False
+            self._h_batch.observe(frames)
+            wire = encoder.encode_block(samples)
+            if cache is not None:
+                cache.put(key, EncodedBlock(wire=wire))
+            return wire, False
+        # synthetic size estimate (real_codec=False): not a function of
+        # the payload bytes alone, so it must bypass the cache
         size = max(16, int(len(payload) * estimated_ratio(
             codec_id, self.channel.quality
         )))

@@ -28,7 +28,12 @@ import numpy as np
 
 from repro.audio.encodings import encode_samples
 from repro.audio.params import AudioParams, CD_QUALITY
-from repro.codec.cache import DecodeCache, DecodeCacheStats
+from repro.codec.cache import (
+    DecodeCache,
+    DecodeCacheStats,
+    EncodeCache,
+    EncodeCacheStats,
+)
 from repro.core.channel import ChannelConfig
 from repro.core.cohort import CohortMember, SpeakerCohort
 from repro.core.failover import WarmStandby
@@ -178,6 +183,9 @@ class EthernetSpeakerSystem:
         decode_cache_entries: int = 256,
         batched_delivery: bool = True,
         cohort: bool = True,
+        shared_encode: bool = True,
+        encode_cache_entries: int = 256,
+        batched_encode: bool = True,
     ):
         self.sim = Simulator()
         # telemetry: False/None -> disabled (near-zero overhead), True ->
@@ -203,6 +211,19 @@ class EthernetSpeakerSystem:
                         telemetry=telemetry, name="system")
             if shared_decode else None
         )
+        #: origin-side mirror: one encode cache shared by every
+        #: rebroadcaster, so looped playlists and same-source multi-channel
+        #: stations encode each raw block once (``shared_encode=False``
+        #: restores independent encodes, the benchmark baseline)
+        self.encode_cache: Optional[EncodeCache] = (
+            EncodeCache(max_entries=encode_cache_entries,
+                        telemetry=telemetry, name="system")
+            if shared_encode else None
+        )
+        #: whole-block vectorised encode kernels for every rebroadcaster
+        #: (bit-identical to the scalar loops; the differential harness
+        #: in ``tests/core/test_origin_differential.py`` pins it)
+        self.batched_encode = batched_encode
         self.lan = EthernetSegment(
             self.sim,
             bandwidth_bps=bandwidth_bps,
@@ -322,6 +343,8 @@ class EthernetSpeakerSystem:
         **kwargs,
     ) -> Rebroadcaster:
         kwargs.setdefault("telemetry", self.telemetry)
+        kwargs.setdefault("encode_cache", self.encode_cache)
+        kwargs.setdefault("batched_encode", self.batched_encode)
         rb = Rebroadcaster(
             producer.machine, channel, master_path=master_path, **kwargs
         )
@@ -604,6 +627,8 @@ class EthernetSpeakerSystem:
         node = self.add_producer(name=name, cpu_freq_hz=cpu_freq_hz)
         self._mirrors.setdefault(id(producer), []).append(node)
         rb_kwargs.setdefault("telemetry", self.telemetry)
+        rb_kwargs.setdefault("encode_cache", self.encode_cache)
+        rb_kwargs.setdefault("batched_encode", self.batched_encode)
         rb = Rebroadcaster(node.machine, channel, **rb_kwargs)
         self.rebroadcasters.append(rb)
         standby = WarmStandby(
@@ -1117,6 +1142,10 @@ class EthernetSpeakerSystem:
             cache_stats = self.decode_cache.stats
         else:
             cache_stats = DecodeCacheStats()
+        if self.encode_cache is not None:
+            enc_cache_stats = self.encode_cache.stats
+        else:
+            enc_cache_stats = EncodeCacheStats()
 
         all_gaps = [
             g for n in self.speakers for g in n.stats.rejoin_gaps
@@ -1179,7 +1208,11 @@ class EthernetSpeakerSystem:
             decode_cache_hits=cache_stats.hits,
             decode_cache_misses=cache_stats.misses,
             decode_cache_evictions=cache_stats.evictions,
+            encode_cache_hits=enc_cache_stats.hits,
+            encode_cache_misses=enc_cache_stats.misses,
+            encode_cache_evictions=enc_cache_stats.evictions,
             fanout_batch=_snap("net.fanout_batch"),
+            encode_batch=_snap("origin.encode_batch"),
             failovers=sum(s.stats.takeovers for s in self.standbys),
             standdowns=sum(s.stats.standdowns for s in self.standbys),
             takeover_latency=_snap("failover.takeover_latency"),

@@ -426,6 +426,16 @@ class PipelineReport:
     #: receivers-per-delivery-event histogram snapshot (net.fanout_batch);
     #: empty when telemetry is disabled or delivery is unbatched
     fanout_batch: dict = field(default_factory=dict)
+    #: encode-side cache (repro.codec.cache.EncodeCache), origin mirror of
+    #: the decode counters above.  Host-side accounting only: hits skip
+    #: numpy work, never virtual CPU time, so these stay out-of-band of
+    #: the conservation bound below
+    encode_cache_hits: int = 0
+    encode_cache_misses: int = 0
+    encode_cache_evictions: int = 0
+    #: frames-per-real-encoder-invocation histogram (origin.encode_batch);
+    #: empty when telemetry is disabled or no real encoder ran
+    encode_batch: dict = field(default_factory=dict)
     #: self-healing activity (warm-standby failover + supervision layer)
     failovers: int = 0            # warm-standby takeovers
     standdowns: int = 0           # standbys yielding to a newer epoch
@@ -475,6 +485,11 @@ class PipelineReport:
     def decode_cache_hit_rate(self) -> float:
         total = self.decode_cache_hits + self.decode_cache_misses
         return self.decode_cache_hits / total if total else 0.0
+
+    @property
+    def encode_cache_hit_rate(self) -> float:
+        total = self.encode_cache_hits + self.encode_cache_misses
+        return self.encode_cache_hits / total if total else 0.0
 
     @property
     def total_sent(self) -> int:
@@ -529,6 +544,7 @@ class PipelineReport:
                             ("arrival latency (s)", self.arrival),
                             ("jitter (s)", self.jitter),
                             ("fanout batch (rx)", self.fanout_batch),
+                            ("origin batch (frames)", self.encode_batch),
                             ("takeover latency (s)", self.takeover_latency),
                             ("rejoin gap (s)", self.rejoin_gap)):
             if snap:
@@ -579,6 +595,14 @@ class PipelineReport:
                 ["decode cache evictions", self.decode_cache_evictions],
                 ["decode cache hit rate",
                  round(self.decode_cache_hit_rate, 4)],
+            ]
+        if self.encode_cache_hits or self.encode_cache_misses:
+            rows += [
+                ["encode cache hits", self.encode_cache_hits],
+                ["encode cache misses", self.encode_cache_misses],
+                ["encode cache evictions", self.encode_cache_evictions],
+                ["encode cache hit rate",
+                 round(self.encode_cache_hit_rate, 4)],
             ]
         if (self.failovers or self.standdowns or self.rejoins
                 or self.missed_heartbeats or self.node_restarts

@@ -1,0 +1,273 @@
+"""Differential harness: batched codec kernels == scalar reference.
+
+The batched whole-block kernels (:mod:`repro.codec.batch`) claim **bit
+identity** with the per-frame/per-band scalar loops they replace — on the
+wire (encode) and in the recovered samples (decode), including the exact
+exception a malformed stream raises.  These tests pin that claim with
+hypothesis sweeps over dtypes, odd block sizes, empty blocks, every Rice
+parameter 0..30, and random byte-level corruption.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codec.mdct import (
+    _reference_mdct_synthesis,
+    mdct_analysis,
+    mdct_synthesis,
+)
+from repro.codec.mp3like import Mp3LikeCodec
+from repro.codec.rice import (
+    _reference_rice_decode,
+    rice_decode,
+    rice_encode,
+)
+from repro.codec.vorbislike import VorbisLikeCodec
+
+
+def _signal(rng, n, channels, kind):
+    if kind == "noise":
+        x = rng.normal(0.0, 0.3, (n, channels))
+    elif kind == "tone":
+        t = np.arange(n)[:, None]
+        x = 0.5 * np.sin(2 * np.pi * 440.0 * t / 44100.0) * np.ones(
+            (1, channels)
+        )
+    elif kind == "quiet":
+        x = rng.normal(0.0, 1e-7, (n, channels))
+    elif kind == "sparse":
+        x = np.zeros((n, channels))
+        x[:: max(1, n // 13)] = 0.9
+    else:  # attack: quiet lead-in, loud tail (trips window switching)
+        x = rng.normal(0.0, 0.01, (n, channels))
+        x[n // 2 :] *= 40.0
+    return np.clip(x, -1.0, 1.0)
+
+
+def _pair(cls, **kwargs):
+    return cls(batched=True, **kwargs), cls(batched=False, **kwargs)
+
+
+def _outcome(codec, data):
+    try:
+        return ("ok", codec.decode_block(data).tobytes())
+    except Exception as exc:  # noqa: BLE001 — exception IS the contract
+        return (type(exc).__name__, str(exc))
+
+
+# -- Rice coding -------------------------------------------------------------
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    values=st.lists(
+        st.integers(min_value=-(2**16), max_value=2**16),
+        min_size=0,
+        max_size=64,
+    ),
+    k=st.integers(min_value=0, max_value=30),
+)
+def test_rice_decode_matches_reference_on_valid_streams(values, k):
+    v = np.array(values, dtype=np.int64)
+    data = rice_encode(v, k)
+    got = rice_decode(data, k, len(v))
+    ref = _reference_rice_decode(data, k, len(v))
+    assert np.array_equal(got, ref)
+    assert np.array_equal(got, v)
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    data=st.binary(min_size=0, max_size=48),
+    k=st.integers(min_value=0, max_value=34),
+    count=st.integers(min_value=0, max_value=40),
+)
+def test_rice_decode_matches_reference_on_garbage(data, k, count):
+    """Arbitrary bytes (truncations, hostile k, k > 30) must produce the
+    same values or the same exception as the per-bit walk."""
+    try:
+        got, got_err = rice_decode(data, k, count), None
+    except ValueError as exc:
+        got, got_err = None, str(exc)
+    try:
+        ref, ref_err = _reference_rice_decode(data, k, count), None
+    except ValueError as exc:
+        ref, ref_err = None, str(exc)
+    assert got_err == ref_err
+    if got is not None:
+        assert np.array_equal(got, ref)
+
+
+def test_rice_decode_truncated_tail_raises_like_reference():
+    v = np.arange(-20, 20, dtype=np.int64)
+    data = rice_encode(v, 4)
+    for cut in (0, 1, len(data) // 2, len(data) - 1):
+        with pytest.raises(ValueError, match="truncated"):
+            rice_decode(data[:cut], 4, len(v))
+
+
+# -- MDCT overlap-add --------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    length=st.integers(min_value=0, max_value=5000),
+    n=st.sampled_from([64, 128, 256, 512]),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_mdct_synthesis_matches_reference_loop(length, n, seed):
+    rng = np.random.default_rng(seed)
+    coeffs, _ = mdct_analysis(rng.normal(0.0, 0.5, length), n)
+    # quantisation-shaped coefficients too: signed zeros and exact ties
+    coeffs = np.round(coeffs * 8.0) / 8.0
+    fast = mdct_synthesis(coeffs, length)
+    slow = _reference_mdct_synthesis(coeffs, length)
+    assert fast.tobytes() == slow.tobytes()  # bitwise, not approx
+
+
+# -- VorbisLike --------------------------------------------------------------
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=20000),
+    channels=st.sampled_from([1, 2]),
+    quality=st.sampled_from([0, 3, 7, 10]),
+    entropy=st.sampled_from(["fixed", "rice"]),
+    window_switching=st.booleans(),
+    kind=st.sampled_from(["noise", "tone", "quiet", "sparse", "attack"]),
+    dtype=st.sampled_from([np.float64, np.float32, np.int16]),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_vorbis_batched_bit_identical(
+    n, channels, quality, entropy, window_switching, kind, dtype, seed
+):
+    rng = np.random.default_rng(seed)
+    x = _signal(rng, n, channels, kind)
+    if dtype is np.int16:
+        x = (x * 32767).astype(np.int16)
+    else:
+        x = x.astype(dtype)
+    fast, slow = _pair(
+        VorbisLikeCodec,
+        quality=quality,
+        entropy=entropy,
+        window_switching=window_switching,
+    )
+    wf, ws = fast.encode_block(x), slow.encode_block(x)
+    assert wf == ws
+    assert fast.decode_block(wf).tobytes() == slow.decode_block(ws).tobytes()
+
+
+def test_vorbis_empty_block_bit_identical():
+    x = np.zeros((0, 2))
+    fast, slow = _pair(VorbisLikeCodec)
+    wf, ws = fast.encode_block(x), slow.encode_block(x)
+    assert wf == ws
+    assert fast.decode_block(wf).tobytes() == slow.decode_block(ws).tobytes()
+
+
+def test_vorbis_nonfinite_input_same_outcome():
+    """NaN/Inf coefficients: the batch kernel must defer to the reference
+    loop so both configurations produce identical bytes or identical
+    errors."""
+    for bad in (np.nan, np.inf, -np.inf):
+        x = np.zeros((3000, 1))
+        x[7] = 0.25
+        x[1500] = bad
+        outs = []
+        for codec in _pair(VorbisLikeCodec, quality=10):
+            try:
+                outs.append(("ok", codec.encode_block(x)))
+            except Exception as exc:  # noqa: BLE001
+                outs.append((type(exc).__name__, str(exc)))
+        assert outs[0] == outs[1]
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    n=st.integers(min_value=64, max_value=9000),
+    entropy=st.sampled_from(["fixed", "rice"]),
+    cut=st.floats(min_value=0.0, max_value=1.0),
+    flips=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=1.0),
+            st.integers(min_value=0, max_value=7),
+        ),
+        min_size=0,
+        max_size=5,
+    ),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_vorbis_corrupt_stream_same_outcome(n, entropy, cut, flips, seed):
+    """Truncated / bit-flipped blocks: decode must return the same
+    samples or raise the same exception either way."""
+    rng = np.random.default_rng(seed)
+    x = _signal(rng, n, 2, "noise")
+    fast, slow = _pair(VorbisLikeCodec, quality=7, entropy=entropy)
+    blob = bytearray(fast.encode_block(x))
+    header = 10
+    if len(blob) > header + 1:
+        blob = blob[: header + 1 + int(cut * (len(blob) - header - 1))]
+        for frac, bit in flips:
+            i = header + int(frac * (len(blob) - header - 1))
+            blob[min(i, len(blob) - 1)] ^= 1 << bit
+    assert _outcome(fast, bytes(blob)) == _outcome(slow, bytes(blob))
+
+
+# -- Mp3Like -----------------------------------------------------------------
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=20000),
+    channels=st.sampled_from([1, 2]),
+    kbps=st.sampled_from([96, 128, 192, 256, 320]),
+    kind=st.sampled_from(["noise", "tone", "quiet", "sparse", "attack"]),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_mp3_batched_bit_identical(n, channels, kbps, kind, seed):
+    rng = np.random.default_rng(seed)
+    x = _signal(rng, n, channels, kind)
+    fast, slow = _pair(Mp3LikeCodec, bitrate_kbps=kbps)
+    wf, ws = fast.encode_block(x), slow.encode_block(x)
+    assert wf == ws
+    assert fast.decode_block(wf).tobytes() == slow.decode_block(ws).tobytes()
+
+
+def test_mp3_empty_block_bit_identical():
+    fast, slow = _pair(Mp3LikeCodec)
+    wf, ws = fast.encode_block(np.zeros((0, 1))), slow.encode_block(
+        np.zeros((0, 1))
+    )
+    assert wf == ws
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    n=st.integers(min_value=64, max_value=9000),
+    cut=st.floats(min_value=0.0, max_value=1.0),
+    flips=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=1.0),
+            st.integers(min_value=0, max_value=7),
+        ),
+        min_size=0,
+        max_size=5,
+    ),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_mp3_corrupt_stream_same_outcome(n, cut, flips, seed):
+    rng = np.random.default_rng(seed)
+    x = _signal(rng, n, 2, "noise")
+    fast, slow = _pair(Mp3LikeCodec, bitrate_kbps=192)
+    blob = bytearray(fast.encode_block(x))
+    header = 8
+    if len(blob) > header + 1:
+        blob = blob[: header + 1 + int(cut * (len(blob) - header - 1))]
+        for frac, bit in flips:
+            i = header + int(frac * (len(blob) - header - 1))
+            blob[min(i, len(blob) - 1)] ^= 1 << bit
+    assert _outcome(fast, bytes(blob)) == _outcome(slow, bytes(blob))
