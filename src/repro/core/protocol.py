@@ -20,6 +20,7 @@ All integers little-endian; one packet per UDP datagram.
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass
 from typing import Optional, Tuple, Union
 
@@ -37,6 +38,11 @@ TYPE_ANNOUNCE = 3
 TYPE_ADP = 4    # entity advertisement (AVAILABLE / DEPARTING / DISCOVER)
 TYPE_AECP = 5   # entity command/response (descriptor enumeration)
 TYPE_ACMP = 6   # talker->listener connect/disconnect transactions
+# application-layer FEC for WAN hops: one parity frame protecting a
+# sliding group of data frames, repaired receiver-side with zero reverse
+# traffic (the paper's §6 internet-radio links are exactly where a NACK
+# reverse path is slow, lossy, or absent)
+TYPE_FEC = 7
 
 # magic, version, type, channel_id, seq, epoch — the epoch identifies the
 # producer incarnation feeding the channel: a warm-standby takeover (or an
@@ -56,6 +62,14 @@ _AECP = struct.Struct("<BBBQH")
 # message_type, status, talker entity_id, listener entity_id, stream
 # group ip, stream port, channel_id
 _ACMP = struct.Struct("<BBQQ4sHH")
+# body_crc guards the whole FEC body (a corrupt parity frame must never
+# be allowed to "repair" anything); then base_seq, k data members, r
+# parity frames for the group, this frame's parity_index, the interleave
+# stride between member seqs, and the parity payload length
+_FEC_CRC = struct.Struct("<I")
+_FEC_GEOM = struct.Struct("<IBBBBH")   # base_seq, k, r, parity_index,
+                                       # stride, payload_len
+_FEC_MEMBER = struct.Struct("<HI")     # member wire length, member crc32
 
 # pre-composed whole-header structs for the hot pack/parse paths: one
 # ``pack`` call per data packet instead of two packs plus a concatenation
@@ -329,9 +343,75 @@ class AcmpPacket:
         )
 
 
+@dataclass(frozen=True)
+class FecPacket:
+    """One parity frame protecting an interleaved group of data frames.
+
+    The group is fully self-describing: members are the ``k`` data seqs
+    ``base_seq + t * stride`` (mod 2**32) of the same channel and epoch,
+    and the record table carries each member's wire length and crc32 so
+    the receiver can (a) verify buffered copies before using them in a
+    repair and (b) verify every reconstruction before injecting it.  The
+    parity payload is the coefficient-weighted GF(256) sum of the
+    members' whole wire images, zero-padded to the longest; ``r`` parity
+    rows with distinct ``parity_index`` are emitted per group, and any
+    surviving subset repairs up to that many erasures.  ``body_crc``
+    covers everything after itself so a corrupted parity frame is
+    rejected at parse time and can never corrupt a repair.
+
+    The common-header ``seq`` mirrors ``base_seq`` so serial-number
+    machinery (epoch restamping, header peeks) works unchanged.
+    """
+
+    channel_id: int
+    base_seq: int
+    k: int
+    r: int
+    parity_index: int
+    stride: int
+    member_sizes: Tuple[int, ...]
+    member_crcs: Tuple[int, ...]
+    payload: bytes
+    epoch: int = 0
+
+    @property
+    def seq(self) -> int:
+        return self.base_seq
+
+    def member_seqs(self) -> Tuple[int, ...]:
+        return tuple(
+            (self.base_seq + t * self.stride) % SEQ_MOD
+            for t in range(self.k)
+        )
+
+    def encode(self) -> bytes:
+        payload = self.payload
+        if not isinstance(payload, bytes):
+            payload = bytes(payload)
+        body = (
+            _FEC_GEOM.pack(
+                self.base_seq, self.k, self.r, self.parity_index,
+                self.stride, len(payload),
+            )
+            + b"".join(
+                _FEC_MEMBER.pack(size, crc)
+                for size, crc in zip(self.member_sizes, self.member_crcs)
+            )
+            + payload
+        )
+        return (
+            _COMMON.pack(
+                MAGIC, VERSION, TYPE_FEC, self.channel_id,
+                self.base_seq, self.epoch,
+            )
+            + _FEC_CRC.pack(zlib.crc32(body))
+            + body
+        )
+
+
 Packet = Union[
     ControlPacket, DataPacket, AnnouncePacket,
-    AdpPacket, AecpPacket, AcmpPacket,
+    AdpPacket, AecpPacket, AcmpPacket, FecPacket,
 ]
 
 
@@ -370,6 +450,10 @@ def parse_packet(data: bytes) -> Packet:
             return _parse_aecp(seq, epoch, data, _COMMON.size, total)
         if ptype == TYPE_ACMP:
             return _parse_acmp(seq, epoch, data, _COMMON.size, total)
+        if ptype == TYPE_FEC:
+            return _parse_fec(
+                channel_id, seq, epoch, data, _COMMON.size, total
+            )
     except (struct.error, ValueError, IndexError) as err:
         raise ProtocolError(f"malformed packet: {err}") from None
     raise ProtocolError(f"unknown packet type {ptype}")
@@ -549,6 +633,63 @@ def _parse_acmp(
         channel_id=channel_id,
         status=status,
         seq=seq,
+        epoch=epoch,
+    )
+
+
+def _parse_fec(
+    channel_id: int, seq: int, epoch: int, data, base: int, total: int
+) -> FecPacket:
+    if total < base + _FEC_CRC.size + _FEC_GEOM.size:
+        raise ProtocolError(
+            f"fec packet length mismatch: {total - base} body bytes, "
+            f">= {_FEC_CRC.size + _FEC_GEOM.size} expected"
+        )
+    (body_crc,) = _FEC_CRC.unpack_from(data, base)
+    body_start = base + _FEC_CRC.size
+    # integrity before structure: a corrupt parity frame must be rejected
+    # outright, never partially decoded into something a repair could use
+    if zlib.crc32(memoryview(data)[body_start:total]) != body_crc:
+        raise ProtocolError("fec packet body crc mismatch")
+    base_seq, k, r, parity_index, stride, payload_len = (
+        _FEC_GEOM.unpack_from(data, body_start)
+    )
+    if k < 1 or r < 1 or parity_index >= r or stride < 1:
+        raise ProtocolError(
+            f"fec geometry invalid: k={k} r={r} "
+            f"parity_index={parity_index} stride={stride}"
+        )
+    if base_seq != seq:
+        raise ProtocolError("fec base_seq does not mirror header seq")
+    offset = body_start + _FEC_GEOM.size
+    # strict framing: exactly k member records then exactly payload_len
+    # parity bytes, nothing more
+    if total != offset + k * _FEC_MEMBER.size + payload_len:
+        raise ProtocolError(
+            f"fec packet length mismatch: k={k}, payload_len={payload_len},"
+            f" {total - offset} bytes follow the geometry"
+        )
+    sizes = []
+    crcs = []
+    for _ in range(k):
+        size, crc = _FEC_MEMBER.unpack_from(data, offset)
+        sizes.append(size)
+        crcs.append(crc)
+        offset += _FEC_MEMBER.size
+    if payload_len and max(sizes) != payload_len:
+        raise ProtocolError(
+            "fec parity length must equal the longest member wire image"
+        )
+    return FecPacket(
+        channel_id=channel_id,
+        base_seq=base_seq,
+        k=k,
+        r=r,
+        parity_index=parity_index,
+        stride=stride,
+        member_sizes=tuple(sizes),
+        member_crcs=tuple(crcs),
+        payload=bytes(memoryview(data)[offset:total]),
         epoch=epoch,
     )
 

@@ -250,6 +250,9 @@ class EthernetSpeakerSystem:
         self.channels: List[ChannelConfig] = []
         self.rebroadcasters: List[Rebroadcaster] = []
         self.fault_injectors: List[FaultInjector] = []
+        #: dedicated per-WAN-link injectors (subtree-scaled budgets, so
+        #: they are itemised separately from the LAN injectors above)
+        self.wan_fault_injectors: List[FaultInjector] = []
         self.standbys: List[WarmStandby] = []
         self.supervisors: List[Supervisor] = []
         self.relays: List[RelayNode] = []
@@ -489,14 +492,20 @@ class EthernetSpeakerSystem:
         check_interval: float = 0.25,
         control_interval: float = 1.0,
         nack: bool = False,
+        recovery: Optional[str] = None,
         retransmit_buffer: int = 64,
         nack_delay: Optional[float] = None,
         recover_timeout: Optional[float] = None,
+        fec_k: int = 4,
+        fec_r: int = 1,
+        fec_interleave: int = 1,
+        fec_flush_timeout: float = 0.25,
         bandwidth_bps: float = 20e6,
         latency: float = 0.040,
         jitter: float = 0.0,
         loss_rate: float = 0.0,
         wan_seed: Optional[int] = None,
+        wan_faults: Optional[dict] = None,
     ) -> RelayNode:
         """A WAN relay fed by ``parent`` over a fresh uplink hop.
 
@@ -504,8 +513,15 @@ class EthernetSpeakerSystem:
         teed off its send path, tandem-free) or another
         :class:`~repro.net.wan.RelayNode` one tier up.  The hop's WAN
         profile (``bandwidth_bps``/``latency``/``jitter``/``loss_rate``)
-        is per-hop; ``nack=True`` adds the bounded NACK-retransmission
-        layer, ``fallback=True`` arms the local filler source.
+        is per-hop; ``recovery`` picks the hop's loss-recovery ladder
+        (``"none"``/``"nack"``/``"fec"``/``"fec+nack"``; ``nack=True``
+        is the legacy alias for ``"nack"``) with the ``fec_*`` knobs
+        sizing the parity groups, ``fallback=True`` arms the local
+        filler source, and ``wan_faults=dict(...)`` attaches a dedicated
+        seeded :class:`~repro.net.faults.FaultInjector` to the uplink
+        (GE bursty loss, duplication, corruption, bounded reorder — the
+        knobs of :meth:`inject_faults`), itemised per hop in
+        :meth:`pipeline_report`.
         """
         # imported here, not at module top: repro.net.wan reaches back
         # into repro.core during the circular package bootstrap
@@ -526,10 +542,25 @@ class EthernetSpeakerSystem:
                   else self._seed + 101 + len(self.wan_hops)),
             name=f"wan:{name}", telemetry=self.telemetry,
         )
+        if wan_faults:
+            kwargs = dict(wan_faults)
+            kwargs.setdefault(
+                "seed", self._seed + 301 + len(self.wan_fault_injectors)
+            )
+            kwargs.setdefault("telemetry", self.telemetry)
+            injector = FaultInjector(
+                self.sim, name=f"wanfaults:{name}", **kwargs
+            )
+            injector.attach(link)
+            # kept apart from the LAN injectors: their budgets scale by
+            # the whole speaker fleet, a WAN hop's by its subtree
+            self.wan_fault_injectors.append(injector)
         hop = WanHop(
-            link, relay.ingest, nack=nack,
+            link, relay.ingest, nack=nack, recovery=recovery,
             retransmit_buffer=retransmit_buffer, nack_delay=nack_delay,
-            recover_timeout=recover_timeout, name=f"hop:{name}",
+            recover_timeout=recover_timeout,
+            fec_k=fec_k, fec_r=fec_r, fec_interleave=fec_interleave,
+            fec_flush_timeout=fec_flush_timeout, name=f"hop:{name}",
         )
         hop.child = relay
         relay.uplink = hop
@@ -1165,13 +1196,26 @@ class EthernetSpeakerSystem:
         for hop in self.wan_hops:
             relay = hop.child
             subtree = self._subtree_speakers(relay) if relay else 0
+            faults = hop.link.faults
+            # an injector's kills/corruptions deny at most one subtree of
+            # deliveries each (corrupt frames may die at the hop parser,
+            # at the relay, or decode to garbage at the leaf — all ways
+            # the delivery never counts); duplicates and FEC repairs are
+            # deliveries the origin never sent.  Injector-killed and
+            # still-parked copies are already inside link.in_flight's
+            # balance, so the explicit terms below are upper-bound slack,
+            # never double-subtraction.
+            injected_lost = faults.stats.lost if faults else 0
+            injected_corrupt = faults.stats.corrupted if faults else 0
+            injected_dup = faults.stats.duplicated if faults else 0
             wan_lost_deliveries += subtree * (
                 hop.link.lost + hop.link.in_flight + hop.pending
-                + hop.stats.stale_dropped
+                + hop.stats.stale_dropped + hop.stats.corrupt_dropped
+                + injected_lost + injected_corrupt
                 + (relay.stats.dropped_down if relay else 0)
             )
             wan_extra_deliveries += subtree * (
-                hop.link.retransmits
+                hop.link.retransmits + injected_dup + hop.fec.repaired
                 + (relay.stats.filler_data if relay else 0)
             )
         return PipelineReport(
@@ -1244,6 +1288,27 @@ class EthernetSpeakerSystem:
             wan_nacks=sum(h.stats.nacks_sent for h in self.wan_hops),
             wan_recovered=sum(h.stats.recovered for h in self.wan_hops),
             wan_abandoned=sum(h.stats.abandoned for h in self.wan_hops),
+            wan_corrupt_dropped=sum(
+                h.stats.corrupt_dropped for h in self.wan_hops
+            ),
+            wan_fec_sent=sum(h.fec.parity_sent for h in self.wan_hops),
+            wan_fec_repaired=sum(h.fec.repaired for h in self.wan_hops),
+            wan_fec_unrepairable=sum(
+                h.fec.unrepairable for h in self.wan_hops
+            ),
+            wan_fec_wasted=sum(h.fec.wasted for h in self.wan_hops),
+            wan_injected_losses=sum(
+                f.stats.lost for f in self.wan_fault_injectors
+            ),
+            wan_injected_duplicates=sum(
+                f.stats.duplicated for f in self.wan_fault_injectors
+            ),
+            wan_injected_reordered=sum(
+                f.stats.reordered for f in self.wan_fault_injectors
+            ),
+            wan_injected_corrupted=sum(
+                f.stats.corrupted for f in self.wan_fault_injectors
+            ),
             relay_fallbacks=sum(r.stats.fallbacks for r in self.relays),
             relay_standdowns=sum(r.stats.standdowns for r in self.relays),
             relay_filler=sum(r.stats.filler_data for r in self.relays),

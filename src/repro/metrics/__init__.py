@@ -11,7 +11,7 @@ benchmark consumes.
 """
 
 from repro.metrics.vmstat import VmstatSample, VmstatSampler
-from repro.metrics.report import ascii_table, series_summary
+from repro.metrics.report import ascii_table, percent, ratio, series_summary
 from repro.metrics.telemetry import (
     NULL,
     ChannelReport,
@@ -30,6 +30,8 @@ __all__ = [
     "VmstatSampler",
     "VmstatSample",
     "ascii_table",
+    "percent",
+    "ratio",
     "series_summary",
     "Telemetry",
     "Tracer",

@@ -32,6 +32,12 @@ def ratio(numerator: float, denominator: float) -> float:
     return numerator / denominator if denominator else 0.0
 
 
+def percent(numerator: float, denominator: float) -> float:
+    """``ratio`` as a percentage, rounded for report rows (FEC overhead,
+    repair rates, loss sweeps)."""
+    return round(100.0 * ratio(numerator, denominator), 2)
+
+
 def series_summary(values: Sequence[float]) -> dict:
     """min/mean/max of a series (for time-series figures)."""
     if not values:

@@ -458,17 +458,35 @@ class PipelineReport:
     wan_retransmits: int = 0      # NACK-driven re-sends
     wan_in_flight: int = 0        # scheduled or parked, not yet downstream
     wan_nacks: int = 0            # NACK messages over reverse paths
-    wan_recovered: int = 0        # gap positions a retransmit filled
+    wan_recovered: int = 0        # gap positions a retransmit/repair filled
     wan_abandoned: int = 0        # gap positions skipped after timeout
+    wan_corrupt_dropped: int = 0  # hop arrivals the parser rejected
+    #: application-layer FEC (repro.net.fec), summed over every hop
+    #: running a ``"fec"``/``"fec+nack"`` recovery ladder.  Parity frames
+    #: are hop-local and never channel data, so they stay out of the
+    #: per-channel residual; the *repairs* are deliveries the origin
+    #: never re-sent, folded into ``wan_extra_deliveries`` below
+    wan_fec_sent: int = 0         # parity frames emitted by encoders
+    wan_fec_repaired: int = 0     # data frames reconstructed + injected
+    wan_fec_unrepairable: int = 0 # member losses beyond repair capacity
+    wan_fec_wasted: int = 0       # parity frames that repaired nothing
+    #: per-WAN-link fault injection (dedicated injectors on WanLinks;
+    #: LAN injector sums above stay separate because their conservation
+    #: budgets scale by the whole fleet, these by the hop's subtree)
+    wan_injected_losses: int = 0
+    wan_injected_duplicates: int = 0
+    wan_injected_reordered: int = 0
+    wan_injected_corrupted: int = 0
     relay_fallbacks: int = 0      # local filler sources started
     relay_standdowns: int = 0     # fallbacks yielding to a returned uplink
     relay_filler: int = 0         # filler data blocks minted
-    #: Σ per-hop (lost + in-flight/parked + resequencer drops +
-    #: relay-down drops) × subtree speakers — leaf deliveries the WAN
-    #: admits to having denied
+    #: Σ per-hop (lost + in-flight/parked + resequencer/parser drops +
+    #: injector kills/corruptions + relay-down drops) × subtree speakers
+    #: — leaf deliveries the WAN admits to having denied
     wan_lost_deliveries: int = 0
-    #: Σ per-hop (retransmits + fallback filler) × subtree speakers —
-    #: leaf deliveries the tree minted that the origin never sent
+    #: Σ per-hop (retransmits + injected duplicates + FEC repairs +
+    #: fallback filler) × subtree speakers — leaf deliveries the tree
+    #: minted that the origin never sent
     wan_extra_deliveries: int = 0
     #: dynamic control plane (repro.mgmt.discovery / .controller): all
     #: out-of-band on the management segment, so none of these touch the
@@ -518,11 +536,16 @@ class PipelineReport:
         duplications.
 
         WAN hops extend both sides: every frame a hop denied (wire loss,
-        in flight, parked for resequencing, or dropped by a dead relay)
-        loses up to its subtree's fan-out of leaf deliveries
-        (``wan_lost_deliveries``), while NACK retransmits and relay
-        fallback filler mint deliveries the origin never sent
-        (``wan_extra_deliveries``)."""
+        injector kill or corruption, in flight, parked for resequencing
+        or FEC reassembly, rejected by the parser, or dropped by a dead
+        relay) loses up to its subtree's fan-out of leaf deliveries
+        (``wan_lost_deliveries``), while NACK retransmits, injected
+        duplicates, FEC-repaired frames, and relay fallback filler mint
+        deliveries the origin never sent (``wan_extra_deliveries``).
+        Parity frames themselves never enter either side: they are not
+        channel data, so ``wan_fec_sent``/``wan_fec_wasted`` are pure
+        overhead rows, and only ``wan_fec_repaired`` (inside
+        ``wan_extra_deliveries``) touches the bound."""
         bound = (
             self.wire_drops * max(
                 (c.speakers for c in self.channels), default=1
@@ -634,6 +657,27 @@ class PipelineReport:
                 ["wan recovered", self.wan_recovered],
                 ["wan abandoned", self.wan_abandoned],
                 ["wan in flight", self.wan_in_flight],
+            ]
+            if self.wan_fec_sent or self.wan_fec_repaired:
+                rows += [
+                    ["wan fec parity sent", self.wan_fec_sent],
+                    ["wan fec repaired", self.wan_fec_repaired],
+                    ["wan fec unrepairable", self.wan_fec_unrepairable],
+                    ["wan fec wasted", self.wan_fec_wasted],
+                ]
+            if (self.wan_injected_losses or self.wan_injected_duplicates
+                    or self.wan_injected_reordered
+                    or self.wan_injected_corrupted
+                    or self.wan_corrupt_dropped):
+                rows += [
+                    ["wan injected losses", self.wan_injected_losses],
+                    ["wan injected duplicates",
+                     self.wan_injected_duplicates],
+                    ["wan injected reordered", self.wan_injected_reordered],
+                    ["wan injected corrupted", self.wan_injected_corrupted],
+                    ["wan corrupt dropped", self.wan_corrupt_dropped],
+                ]
+            rows += [
                 ["relay fallbacks", self.relay_fallbacks],
                 ["relay stand-downs", self.relay_standdowns],
                 ["relay filler blocks", self.relay_filler],

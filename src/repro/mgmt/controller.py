@@ -42,10 +42,12 @@ from repro.core.protocol import (
     ACMP_OK,
     ADP_AVAILABLE,
     ADP_DEPARTING,
+    ADP_DISCOVER,
     AECP_COMMAND,
     AECP_OK,
     AECP_READ_DESCRIPTOR,
     AECP_RESPONSE,
+    ENTITY_CONTROLLER,
     AcmpPacket,
     AdpPacket,
     AecpPacket,
@@ -57,6 +59,7 @@ from repro.mgmt.discovery import (
     DEFAULT_VALID_TIME,
     DISCOVERY_GROUP,
     DISCOVERY_PORT,
+    DISCOVERY_SOLICIT_GROUP,
     lease_expired,
 )
 from repro.metrics.telemetry import get_telemetry
@@ -114,6 +117,7 @@ class ControllerStats:
     acmp_failures: int = 0         # transactions that exhausted retries
     pruned: int = 0                # dead records garbage-collected
     restarts: int = 0              # controller cold restarts
+    discovers_sent: int = 0        # ENTITY_DISCOVER solicitations sent
 
 
 class FleetController:
@@ -251,6 +255,20 @@ class FleetController:
         sock = self.stack.socket(self.port)
         sock.join_multicast(self.group)
         try:
+            # cold-boot census: solicit the fleet instead of waiting out
+            # every advertiser's periodic interval.  Runs again on
+            # restart() for free — restart respawns this listener.
+            yield self.machine.cpu.run(self.PROCESS_CYCLES, domain="user")
+            sock.sendto(
+                AdpPacket(
+                    entity_id=0,
+                    message_type=ADP_DISCOVER,
+                    entity_kind=ENTITY_CONTROLLER,
+                    name=self.name,
+                ).encode(),
+                (DISCOVERY_SOLICIT_GROUP, self.port),
+            )
+            self.stats.discovers_sent += 1
             while True:
                 try:
                     msg = yield Timeout(sock.recv(), self.check_interval)

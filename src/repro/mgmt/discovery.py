@@ -32,14 +32,23 @@ from typing import Callable, Optional
 from repro.core.protocol import (
     ADP_AVAILABLE,
     ADP_DEPARTING,
+    ADP_DISCOVER,
     AVAILABLE_INDEX_MOD,
     ENTITY_SPEAKER,
     AdpPacket,
+    ProtocolError,
+    parse_packet,
 )
 from repro.metrics.telemetry import get_telemetry
-from repro.sim.process import Process, Sleep
+from repro.sim.core import SimError
+from repro.sim.process import Process, Sleep, Timeout
 
 DISCOVERY_GROUP = "239.192.255.3"
+#: where controllers multicast ENTITY_DISCOVER solicitations.  A group
+#: of its own, *not* DISCOVERY_GROUP: advertisers listen only here, so
+#: the fleet's own advertisement traffic never wakes every advertiser
+#: on every advert (that would be O(fleet^2) wakeups per interval)
+DISCOVERY_SOLICIT_GROUP = "239.192.255.4"
 DISCOVERY_PORT = 4997
 
 #: default lease, seconds; refreshed every DEFAULT_INTERVAL
@@ -71,6 +80,7 @@ class AdvertiserStats:
     departs: int = 0          # clean ENTITY_DEPARTINGs sent
     suppressed: int = 0       # ticks where the probe failed (no advert)
     state_bumps: int = 0      # extra index bumps from state transitions
+    solicited: int = 0        # early wakeups from ENTITY_DISCOVER
 
 
 class EntityAdvertiser:
@@ -206,9 +216,39 @@ class EntityAdvertiser:
         self.stats.advertises += 1
         self._c_adv.inc()
 
+    def _open_solicit_listener(self):
+        """Bind the discovery port and join the solicitation group.
+
+        Multicast delivery is destination-port keyed, so hearing a
+        controller's ENTITY_DISCOVER requires owning the discovery port
+        on this machine.  If another process already holds it (a second
+        advertiser on the same box, or a co-located controller), this
+        advertiser degrades gracefully to periodic-only: leases still
+        refresh on cadence, the fleet just answers cold censuses a tick
+        slower from this node.
+        """
+        try:
+            lsock = self.stack.socket(self.port)
+        except SimError:
+            return None
+        lsock.join_multicast(DISCOVERY_SOLICIT_GROUP)
+        return lsock
+
+    @staticmethod
+    def _is_discover(msg) -> bool:
+        try:
+            pkt = parse_packet(msg.payload)
+        except ProtocolError:
+            return False
+        return (
+            isinstance(pkt, AdpPacket)
+            and pkt.message_type == ADP_DISCOVER
+        )
+
     def _run(self):
         sock = self.stack.socket()
         self._sock = sock
+        lsock = self._open_solicit_listener()
         while True:
             alive = self.probe()
             if alive:
@@ -241,4 +281,21 @@ class EntityAdvertiser:
             else:
                 self.stats.suppressed += 1
                 self._was_alive = False
-            yield Sleep(self.interval)
+            if lsock is None:
+                yield Sleep(self.interval)
+                continue
+            # sleep out the tick, but wake early for ENTITY_DISCOVER: a
+            # cold-booting controller should not have to wait out every
+            # advertiser's interval to complete its census
+            deadline = self.machine.sim.now + self.interval
+            while True:
+                remaining = deadline - self.machine.sim.now
+                if remaining <= 0:
+                    break
+                try:
+                    msg = yield Timeout(lsock.recv(), remaining)
+                except TimeoutError:
+                    break
+                if self._is_discover(msg):
+                    self.stats.solicited += 1
+                    break

@@ -22,10 +22,11 @@ from repro.net.macsec import ConnectivityAssociation, MacsecNic
 from repro.net.monitor import BandwidthMonitor
 from repro.net.switch import SwitchedSegment
 
-# wan is loaded lazily (PEP 562): it imports repro.core, and this
-# package initialises from inside repro.kernel.machine's own import —
-# an eager wan import here would re-enter that half-built module
+# wan and fec are loaded lazily (PEP 562): they import repro.core, and
+# this package initialises from inside repro.kernel.machine's own import
+# — an eager import here would re-enter that half-built module
 _WAN_NAMES = ("WanLink", "WanHop", "WanHopStats", "RelayNode", "RelayStats")
+_FEC_NAMES = ("FecEncoder", "FecReassembler", "FecStats")
 
 
 def __getattr__(name):
@@ -33,6 +34,10 @@ def __getattr__(name):
         from repro.net import wan
 
         return getattr(wan, name)
+    if name in _FEC_NAMES:
+        from repro.net import fec
+
+        return getattr(fec, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -54,6 +59,9 @@ __all__ = [
     "WanHopStats",
     "RelayNode",
     "RelayStats",
+    "FecEncoder",
+    "FecReassembler",
+    "FecStats",
     "ConnectivityAssociation",
     "MacsecNic",
     "SwitchedSegment",

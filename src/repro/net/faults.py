@@ -23,8 +23,10 @@ depend on it.  This module turns the misbehaviour into explicit, seeded,
 
 A :class:`FaultInjector` attaches to any link exposing
 ``set_fault_injector`` (:class:`~repro.net.segment.EthernetSegment`,
-:class:`~repro.net.switch.SwitchedSegment`) and intercepts the
-per-receiver delivery decision.  Every injected fault increments both a
+:class:`~repro.net.switch.SwitchedSegment`, and — since the recovery
+ladder — :class:`~repro.net.wan.WanLink`, which requires a dedicated
+injector per link because its counters feed the per-hop conservation
+budget) and intercepts the per-receiver delivery decision.  Every injected fault increments both a
 :class:`FaultStats` field and a telemetry counter
 (``faults.{lost,duplicated,reordered,corrupted}[name]``), which is what
 keeps the pipeline's packet-conservation ledger closed: the report can

@@ -17,11 +17,16 @@ pipe into a **hierarchical relay tree**::
   latency, jitter, and loss profile.  Loss and jitter draw from
   **independent** seeded RNG streams, so sweeping ``loss_rate`` never
   shifts the jitter trajectory of the surviving frames.
-* :class:`WanHop` — a link plus an optional NACK-retransmission layer
-  for lossy hops where the LAN's just-conceal policy breaks down: the
-  sender keeps a bounded ring of recent data frames, the receiver
-  resequences around gaps and NACKs the missing sequence numbers once,
-  giving up after a bounded timeout.
+* :class:`WanHop` — a link plus a selectable **recovery ladder**
+  (``recovery="none"|"nack"|"fec"|"fec+nack"``) for lossy hops where
+  the LAN's just-conceal policy breaks down: application-layer FEC
+  (:mod:`repro.net.fec`) repairs losses with zero reverse traffic,
+  unrepaired holes fall through to the bounded-ring NACK layer (when
+  enabled), and whatever survives both is abandoned after a bounded
+  timeout and concealed downstream — degradation, never a stall.
+  A :class:`~repro.net.faults.FaultInjector` can attach to any
+  :class:`WanLink` (``injector.attach(link)``) for the full hostile-WAN
+  chain: GE bursty loss, duplication, corruption, bounded reorder.
 * :class:`RelayNode` — a tandem-free forwarder: it classifies packets
   from the common header alone (:func:`~repro.core.protocol.peek_header`,
   zero-copy, no payload decode) and re-multicasts the compressed bytes
@@ -56,6 +61,7 @@ from repro.core.protocol import (
     SEQ_MOD,
     TYPE_CONTROL,
     TYPE_DATA,
+    TYPE_FEC,
     ControlPacket,
     DataPacket,
     ProtocolError,
@@ -66,7 +72,31 @@ from repro.core.protocol import (
     seq_delta,
 )
 from repro.metrics.telemetry import get_telemetry
+from repro.net.fec import FecEncoder, FecReassembler, FecStats
+from repro.net.segment import Datagram
 from repro.sim.core import Simulator
+
+#: recovery-ladder policies a hop can run (see :class:`WanHop`)
+RECOVERY_POLICIES = ("none", "nack", "fec", "fec+nack")
+
+
+class _WanRx:
+    """Adapter presenting one WAN delivery callback to a FaultInjector.
+
+    The injector keys its Gilbert–Elliott chains and reorder parking on
+    the receiver object it calls ``deliver`` on; wrapping each callback
+    once (cached per link) keeps those draws deterministic per receiver
+    path exactly like a LAN NIC.
+    """
+
+    __slots__ = ("_link", "_cb")
+
+    def __init__(self, link: "WanLink", cb: Callable[[bytes], None]):
+        self._link = link
+        self._cb = cb
+
+    def deliver(self, dgram: Datagram) -> None:
+        self._link._deliver(dgram.payload, self._cb)
 
 
 class WanLink:
@@ -109,6 +139,8 @@ class WanLink:
         self._loss_rng = np.random.default_rng(loss_ss)
         self._jitter_rng = np.random.default_rng(jitter_ss)
         self._free_at = 0.0
+        self.faults = None
+        self._rx_cache: Dict[object, _WanRx] = {}
         self.sent = 0
         self.delivered = 0
         self.lost = 0
@@ -121,10 +153,35 @@ class WanLink:
         self._c_lost = tel.counter(f"wan.lost[{name}]")
         self._c_retx = tel.counter(f"wan.retransmits[{name}]")
 
+    def set_fault_injector(self, faults) -> None:
+        """Interpose a :class:`~repro.net.faults.FaultInjector` on this
+        link's deliveries (GE bursty loss, duplication, corruption,
+        bounded reorder, jitter — the full LAN fault chain, on a WAN pipe).
+
+        The injector must be dedicated to this link: its counters feed
+        this link's ``in_flight`` arithmetic and the per-hop conservation
+        budget, both of which would be wrong if another link shared them.
+        """
+        if faults is not None and getattr(faults, "links", None):
+            raise ValueError(
+                f"FaultInjector {faults.name!r} already attached elsewhere; "
+                "WAN links need a dedicated injector"
+            )
+        self.faults = faults
+        self._rx_cache.clear()
+
     @property
     def in_flight(self) -> int:
-        """Frames serialised but neither delivered nor lost yet."""
-        return self.sent - self.delivered - self.lost
+        """Frames serialised but neither delivered nor lost yet.
+
+        With a fault injector attached, copies it killed are not coming
+        and copies it minted will arrive beyond ``sent`` — both adjust
+        the balance so quiescence still reads zero.
+        """
+        base = self.sent - self.delivered - self.lost
+        if self.faults is not None:
+            base += self.faults.stats.duplicated - self.faults.stats.lost
+        return base
 
     def send(
         self,
@@ -157,7 +214,20 @@ class WanLink:
             self._c_lost.inc()
             return False
         delay = (start + tx_time - now) + self.latency + jit
-        self.sim.schedule(delay, self._deliver, payload, deliver)
+        if self.faults is not None:
+            rx = self._rx_cache.get(deliver)
+            if rx is None:
+                rx = self._rx_cache[deliver] = _WanRx(self, deliver)
+            self.faults.deliver(
+                rx,
+                Datagram(
+                    src_ip=self.name, src_port=0,
+                    dst_ip=self.name, dst_port=0, payload=payload,
+                ),
+                delay,
+            )
+        else:
+            self.sim.schedule(delay, self._deliver, payload, deliver)
         return True
 
     def _deliver(self, payload: bytes, deliver: Callable[[bytes], None]):
@@ -185,27 +255,41 @@ class WanHopStats:
     recovered: int = 0        # gap positions filled before the deadline
     abandoned: int = 0        # gap positions given up on (skipped)
     stale_dropped: int = 0    # arrivals behind the resequencer, discarded
+    corrupt_dropped: int = 0  # arrivals rejected by the parser (mangled)
 
 
 class WanHop:
-    """One parent→child hop of the relay tree: a :class:`WanLink` plus an
-    optional NACK-retransmission layer.
+    """One parent→child hop of the relay tree: a :class:`WanLink` plus a
+    selectable loss-recovery ladder.
 
-    Without ``nack`` the hop is a pass-through: frames arrive downstream
-    in whatever order jitter produced and the LAN's conceal/dedupe
-    policy deals with it.  With ``nack=True``:
+    ``recovery`` picks the policy:
 
-    * the **sender** keeps a bounded ring of the last
-      ``retransmit_buffer`` data frames, keyed by sequence number;
-    * the **receiver** resequences: data frames beyond a gap are held
-      back, the missing sequence numbers are NACKed once over the
-      reverse path (propagation latency, no jitter) after ``nack_delay``
-      of natural-reordering grace, and each gap position is abandoned
-      after ``recover_timeout`` so a lost retransmit can never stall the
-      stream.  Everything deliverable flushes downstream in order.
+    * ``"none"`` — pass-through: frames arrive downstream in whatever
+      order jitter produced and the LAN's conceal/dedupe policy deals
+      with it.
+    * ``"nack"`` — the **sender** keeps a bounded ring of the last
+      ``retransmit_buffer`` data frames; the **receiver** resequences,
+      NACKs missing seqs once over the reverse path after ``nack_delay``
+      of natural-reordering grace, and abandons each gap position after
+      ``recover_timeout``.
+    * ``"fec"`` — the sender runs a :class:`~repro.net.fec.FecEncoder`
+      (``fec_k`` data / ``fec_r`` parity / ``fec_interleave`` lanes) and
+      the receiver a :class:`~repro.net.fec.FecReassembler`; repaired
+      frames are injected into the resequencer in order.  **Zero reverse
+      traffic**: no NACKs are ever sent, so the policy works where the
+      reverse path is slow, lossy, or absent (§6's internet-radio case).
+    * ``"fec+nack"`` — the full ladder: FEC repairs first; holes the
+      parity horizon could not cover fall through to the NACK ring
+      (``nack_delay`` defaults to the FEC flush horizon so the reverse
+      path is only exercised for FEC's failures); whatever remains is
+      abandoned after ``recover_timeout`` and concealed downstream.
 
     Control and announce packets bypass the resequencer — they are
     idempotent anchors, and holding them would only delay re-anchoring.
+    Parity frames are hop-local: consumed here, never forwarded, so FEC
+    overhead on one hop is invisible to the rest of the tree.
+    ``nack=True`` is accepted as a back-compat alias for
+    ``recovery="nack"``.
     """
 
     def __init__(
@@ -213,28 +297,59 @@ class WanHop:
         link: WanLink,
         deliver: Callable[[bytes], None],
         nack: bool = False,
+        recovery: Optional[str] = None,
         retransmit_buffer: int = 64,
         nack_delay: Optional[float] = None,
         recover_timeout: Optional[float] = None,
+        fec_k: int = 4,
+        fec_r: int = 1,
+        fec_interleave: int = 1,
+        fec_flush_timeout: float = 0.25,
+        fec_window: int = 256,
         name: str = "",
     ):
+        if recovery is None:
+            recovery = "nack" if nack else "none"
+        if recovery not in RECOVERY_POLICIES:
+            raise ValueError(
+                f"recovery={recovery!r} not one of {RECOVERY_POLICIES}"
+            )
         self.link = link
         self.sim = link.sim
-        self.nack = nack
+        self.recovery = recovery
+        #: NACK messages enabled (kept as a public bool for callers that
+        #: predate the ladder)
+        self.nack = recovery in ("nack", "fec+nack")
+        self._fec_on = recovery in ("fec", "fec+nack")
+        self._resequencing = recovery != "none"
         self.retransmit_buffer = retransmit_buffer
-        #: grace for natural (jitter) reordering before NACKing
-        self.nack_delay = (
-            nack_delay if nack_delay is not None
-            else max(link.jitter, 0.005)
-        )
+        #: grace before NACKing: jitter reordering for a NACK-only hop;
+        #: for the full ladder, additionally the FEC horizon — parity
+        #: gets its chance before the reverse path is used
+        if nack_delay is not None:
+            self.nack_delay = nack_delay
+        elif recovery == "fec+nack":
+            self.nack_delay = fec_flush_timeout + max(link.jitter, 0.005)
+        else:
+            self.nack_delay = max(link.jitter, 0.005)
         #: per gap position: how long from detection until we skip it
-        #: (NACK grace + reverse path + retransmitted forward path)
-        self.recover_timeout = (
-            recover_timeout if recover_timeout is not None
-            else self.nack_delay + 2 * link.latency + link.jitter + 0.01
-        )
+        if recover_timeout is not None:
+            self.recover_timeout = recover_timeout
+        elif recovery == "fec":
+            # no reverse path: the gap either repairs within the parity
+            # horizon (group fill bounded by the encoder flush timer,
+            # plus one forward trip) or it never will
+            self.recover_timeout = (
+                fec_flush_timeout + link.latency + link.jitter + 0.05
+            )
+        else:
+            # NACK grace + reverse path + retransmitted forward path
+            self.recover_timeout = (
+                self.nack_delay + 2 * link.latency + link.jitter + 0.01
+            )
         self.name = name or f"hop:{link.name}"
         self.stats = WanHopStats()
+        self.fec = FecStats()
         self._deliver_cb = deliver
         #: the relay this hop feeds (set by the system builder; used for
         #: subtree-scaled conservation budgets)
@@ -242,12 +357,24 @@ class WanHop:
         # -- sender side (lives in the parent node's RAM) --
         self._ring: "OrderedDict[int, bytes]" = OrderedDict()
         self._tx_epoch: Optional[int] = None
+        self._encoder: Optional[FecEncoder] = None
+        if self._fec_on:
+            self._encoder = FecEncoder(
+                self.sim, self._send_parity,
+                k=fec_k, r=fec_r, interleave=fec_interleave,
+                flush_timeout=fec_flush_timeout, stats=self.fec,
+            )
         # -- receiver side (lives in the child node's RAM) --
         self._rx_epoch: Optional[int] = None
         self._next: Optional[int] = None   # next data seq owed downstream
         self._hold: Dict[int, bytes] = {}  # parked post-gap frames
         self._missing: Dict[int, float] = {}  # gap seq -> abandon deadline
         self._gen = 0  # invalidates scheduled NACK/deadline callbacks
+        self._reassembler: Optional[FecReassembler] = None
+        if self._fec_on:
+            self._reassembler = FecReassembler(
+                stats=self.fec, window=fec_window,
+            )
 
     @property
     def pending(self) -> int:
@@ -274,7 +401,19 @@ class WanHop:
         ok = self.link.send(wire, self._arrive)
         if is_data and not ok:
             self.stats.data_lost += 1
+        if is_data and self._encoder is not None:
+            # the encoder sees every data frame *offered* (even ones the
+            # loss draw killed — that is the point), after the member
+            # itself is on the wire so parity always trails its group
+            _, channel_id, seq, epoch = hdr
+            self._encoder.on_data(channel_id, seq, epoch, wire)
         return ok
+
+    def _send_parity(self, wire: bytes) -> None:
+        # parity rides the same link and loss process as data but is
+        # hop-local: the far end consumes it, repairs, and forwards only
+        # repaired *data* frames
+        self.link.send(wire, self._arrive)
 
     def _do_retransmit(self, seqs, gen: int) -> None:
         if gen != self._gen:
@@ -283,30 +422,90 @@ class WanHop:
             wire = self._ring.get(seq)
             if wire is not None:
                 self.stats.retransmitted += 1
-                self.link.send(wire, self._arrive, retransmit=True)
+                self.link.send(wire, self._arrive_retransmit, retransmit=True)
 
     def reset_sender(self) -> None:
-        """The sending node cold-started: its retransmit ring and the
-        link's serialisation backlog died with it."""
+        """The sending node cold-started: its retransmit ring, open FEC
+        groups, and the link's serialisation backlog died with it."""
         self._ring.clear()
         self._tx_epoch = None
+        if self._encoder is not None:
+            self._encoder.reset()
         self.link.reset()
 
     # -- receiver side ---------------------------------------------------------
 
     def _arrive(self, wire: bytes) -> None:
-        if not self.nack:
-            self._deliver_cb(wire)
-            return
+        self._ingest(wire, retransmit=False)
+
+    def _arrive_retransmit(self, wire: bytes) -> None:
+        self._ingest(wire, retransmit=True)
+
+    def _ingest(self, wire: bytes, retransmit: bool) -> None:
         hdr = peek_header(wire)
-        if hdr is None or hdr[0] != TYPE_DATA:
+        if hdr is None:
+            # a corrupted frame that no longer reads as one of ours dies
+            # here, counted, instead of poisoning the relay
+            self.stats.corrupt_dropped += 1
+            return
+        ptype, channel_id, seq, epoch = hdr
+        if ptype == TYPE_FEC:
+            self._on_parity(wire)
+            return
+        if not self._resequencing:
             self._deliver_cb(wire)
             return
-        _, _, seq, epoch = hdr
+        if ptype != TYPE_DATA:
+            self._deliver_cb(wire)
+            return
+        if self._reassembler is not None:
+            # buffer for future parity; any groups this frame completes
+            # repair *now*, and the repairs (earlier seqs) are injected
+            # before this frame so the resequencer sees natural order
+            for fixed in self._reassembler.on_data(
+                channel_id, seq, epoch, wire
+            ):
+                fhdr = peek_header(fixed)
+                self._resequence(fixed, fhdr[2], fhdr[3], retransmit=False)
+        self._resequence(wire, seq, epoch, retransmit)
+
+    def _on_parity(self, wire: bytes) -> None:
+        if self._reassembler is None:
+            # a parity frame on a hop not running FEC (policy mismatch
+            # across a restart): consumed and useless by definition
+            self.fec.wasted += 1
+            return
+        try:
+            pkt = parse_packet(wire)
+        except ProtocolError:
+            # body crc (or framing) rejected it — a corrupt parity frame
+            # never gets near a repair
+            self.stats.corrupt_dropped += 1
+            return
+        for fixed in self._reassembler.on_parity(pkt):
+            fhdr = peek_header(fixed)
+            self._resequence(fixed, fhdr[2], fhdr[3], retransmit=False)
+
+    def _resequence(
+        self, wire: bytes, seq: int, epoch: int, retransmit: bool
+    ) -> None:
         if epoch != self._rx_epoch:
+            if retransmit:
+                # a replay can only describe the past: a late retransmit
+                # from a dead epoch must never flush the live
+                # resequencer's state or regress its epoch
+                self.stats.stale_dropped += 1
+                return
             self._flush_all()
             self._rx_epoch = epoch
         if self._next is None:
+            if retransmit:
+                # never anchor a cold resequencer on a retransmit: it is
+                # the one frame guaranteed to be behind the live stream
+                # (a restart-during-recovery would re-anchor at a stale
+                # seq and abandon its way forward through a phantom gap)
+                self.stats.stale_dropped += 1
+                return
             self._deliver_cb(wire)
             self._next = (seq + 1) % SEQ_MOD
             return
@@ -355,9 +554,13 @@ class WanHop:
                 fresh.append(cursor)
             cursor = (cursor + 1) % SEQ_MOD
         if fresh:
-            self.sim.schedule(
-                self.nack_delay, self._nack_check, tuple(fresh), self._gen
-            )
+            if self.nack:
+                self.sim.schedule(
+                    self.nack_delay, self._nack_check, tuple(fresh),
+                    self._gen,
+                )
+            # FEC-only hops still need the abandon deadline — repair or
+            # not, the stream must keep moving with zero reverse traffic
             self.sim.schedule(
                 self.recover_timeout, self._deadline_check, self._gen
             )
@@ -430,6 +633,8 @@ class WanHop:
         self._next = None
         self._rx_epoch = None
         self._gen += 1
+        if self._reassembler is not None:
+            self._reassembler.reset()
 
 
 @dataclass

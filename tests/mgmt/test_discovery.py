@@ -356,6 +356,43 @@ def test_controller_restart_repopulates_registry():
     assert controller.stats.restarts == 1
 
 
+def test_cold_boot_census_is_solicited_not_waited():
+    """A controller cold-booting mid-interval multicasts ENTITY_DISCOVER
+    on the solicitation group and the fleet answers immediately: the
+    census completes in ~wire time instead of waiting out the
+    advertisers' periodic interval."""
+    system = EthernetSpeakerSystem()
+    ch = system.add_channel("lobby", params=LOW)
+    nodes = [
+        system.add_speaker(channel=ch, name=f"es{i}") for i in range(3)
+    ]
+    # valid_time 4.0 -> 1.0 s advertising cadence: a cold boot that has
+    # to wait for periodic refreshes would take ~0.5 s from t=2.5
+    advs = [system.advertise_speaker(n, valid_time=4.0) for n in nodes]
+    controller = system.add_controller(check_interval=0.1)
+    times = {}
+
+    def driver():
+        yield Sleep(0.5)
+        assert len(controller.available()) == 3     # warm census done
+        controller.crash()
+        yield Sleep(2.0)                            # fleet keeps beating
+        controller.restart()                        # cold boot at t=2.5,
+        assert controller.entities == {}            # mid-interval, RAM gone
+        while len(controller.available()) < 3:
+            yield Sleep(0.01)
+        times["census"] = system.sim.now
+
+    proc = spawn(system, driver())
+    system.run(until=5.0)
+    assert proc.exception is None
+    # the pin: census rebuilt essentially instantly after boot — far
+    # inside the 0.5 s the next periodic advert would have cost
+    assert times["census"] - 2.5 < 0.2
+    assert controller.stats.discovers_sent >= 2     # first boot + restart
+    assert all(a.stats.solicited >= 1 for a in advs)
+
+
 # -- supervisor integration ----------------------------------------------------
 
 

@@ -1,0 +1,384 @@
+"""FEC codec properties and the encoder/reassembler state machines.
+
+The erasure-code contract, exercised in isolation from any WAN hop:
+
+* any erasure pattern of ``e <= r`` members repairs **byte-exactly**
+  from **any** ``e`` surviving parity rows (the Cauchy submatrix
+  property, not just the contiguous-burst case);
+* more than ``r`` erasures report unrepairable (``None``) — the codec
+  never fabricates a partial or speculative repair;
+* a corrupted parity frame can never corrupt data: the PDU's body crc
+  rejects bit-flips at parse time, and a reassembler fed a wrong-payload
+  parity row refuses to inject anything whose reconstruction disagrees
+  with the group's member crc32s.
+
+Plus deterministic unit coverage of the sliding-group encoder (group
+completion, interleave lanes, epoch and timer flush) and the
+reassembler (late parity, late data, stale epochs, duplicate rows).
+"""
+
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.protocol import (
+    FecPacket,
+    ProtocolError,
+    parse_packet,
+)
+from repro.net.fec import (
+    MAX_K,
+    MAX_R,
+    FecEncoder,
+    FecReassembler,
+    FecStats,
+    coefficient,
+    encode_group,
+    repair_group,
+)
+from repro.sim import Simulator
+
+# -- strategies --------------------------------------------------------------
+
+_member = st.binary(min_size=1, max_size=48)
+
+
+@st.composite
+def _groups(draw):
+    """A group geometry, its members, and an erasure pattern <= r."""
+    k = draw(st.integers(min_value=1, max_value=8))
+    r = draw(st.integers(min_value=1, max_value=4))
+    members = draw(st.lists(_member, min_size=k, max_size=k))
+    e = draw(st.integers(min_value=0, max_value=min(r, k)))
+    erased = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=k - 1),
+            min_size=e, max_size=e, unique=True,
+        )
+    )
+    surviving = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=r - 1),
+            min_size=e, max_size=r, unique=True,
+        )
+    )
+    return k, r, members, sorted(erased), sorted(surviving)
+
+
+# -- codec properties --------------------------------------------------------
+
+
+@settings(max_examples=200, deadline=None)
+@given(_groups())
+def test_any_erasure_pattern_repairs_byte_exactly(group):
+    """<= r erasures repair from any >= e surviving parity rows."""
+    k, r, members, erased, surviving = group
+    rows = encode_group(members, r)
+    present = {t: members[t] for t in range(k) if t not in erased}
+    parity = {j: rows[j] for j in surviving}
+    rebuilt = repair_group(present, parity, k, r)
+    assert rebuilt is not None
+    assert sorted(rebuilt) == erased
+    for t in erased:
+        # reconstructions are padded to the group width; the original
+        # prefix must be byte-exact and the padding must be zero
+        fixed = rebuilt[t]
+        assert fixed[: len(members[t])] == members[t]
+        assert not any(fixed[len(members[t]):])
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=8),
+    st.integers(min_value=1, max_value=4),
+    st.data(),
+)
+def test_over_capacity_reports_unrepairable(k, r, data):
+    """More erasures than surviving parity rows -> None, never a guess."""
+    members = data.draw(st.lists(_member, min_size=k, max_size=k))
+    rows = encode_group(members, r)
+    e = data.draw(st.integers(min_value=1, max_value=min(k, r + 1)))
+    erased = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=k - 1),
+            min_size=e, max_size=e, unique=True,
+        )
+    )
+    # strictly fewer surviving rows than erasures
+    keep = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=r - 1),
+            min_size=0, max_size=e - 1, unique=True,
+        )
+    )
+    present = {t: members[t] for t in range(k) if t not in erased}
+    parity = {j: rows[j] for j in keep}
+    assert repair_group(present, parity, k, r) is None
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=MAX_R - 1),
+    st.integers(min_value=0, max_value=MAX_K - 1),
+)
+def test_cauchy_coefficients_nonzero(j, t):
+    """Every Cauchy matrix element is invertible (generators disjoint)."""
+    assert coefficient(j, t, 2) != 0
+
+
+def test_xor_special_case_matches_plain_parity():
+    members = [b"abcd", b"efgh", b"ij"]
+    (row,) = encode_group(members, 1)
+    expect = bytes(
+        a ^ b ^ c
+        for a, b, c in zip(b"abcd", b"efgh", b"ij\x00\x00")
+    )
+    assert row == expect
+
+
+# -- corrupt parity never corrupts data --------------------------------------
+
+
+def _one_parity_packet(members, seed=0):
+    rows = encode_group(members, 1)
+    return FecPacket(
+        channel_id=1,
+        base_seq=100,
+        k=len(members),
+        r=1,
+        parity_index=0,
+        stride=1,
+        member_sizes=tuple(len(m) for m in members),
+        member_crcs=tuple(zlib.crc32(m) for m in members),
+        payload=rows[0],
+        epoch=0,
+    )
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.integers(min_value=12, max_value=200),  # flip offset (past header)
+    st.integers(min_value=1, max_value=255),
+)
+def test_bit_flipped_parity_rejected_by_parser(offset, xor):
+    """A corrupted parity frame fails its body crc at parse time."""
+    members = [b"payload-one!", b"payload-two!", b"payload-three"]
+    wire = bytearray(_one_parity_packet(members).encode())
+    offset %= len(wire)
+    if offset < 12:
+        offset = 12  # stay inside the crc-protected body
+    wire[offset] ^= xor
+    with pytest.raises(ProtocolError):
+        parse_packet(bytes(wire))
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(min_value=0, max_value=35), st.data())
+def test_wrong_parity_payload_never_injects_bad_data(pos, data):
+    """Even a parity row that *parses* (crc recomputed over a corrupted
+    payload) cannot make the reassembler hand back wrong bytes: the
+    reconstruction fails the member crc and nothing is injected."""
+    members = [b"frame-aaaa", b"frame-bbbb", b"frame-cccc"]
+    rows = encode_group(members, 1)
+    bad = bytearray(rows[0])
+    pos %= len(bad)
+    bad[pos] ^= data.draw(st.integers(min_value=1, max_value=255))
+    pkt = FecPacket(
+        channel_id=1,
+        base_seq=100,
+        k=3,
+        r=1,
+        parity_index=0,
+        stride=1,
+        member_sizes=tuple(len(m) for m in members),
+        member_crcs=tuple(zlib.crc32(m) for m in members),
+        payload=bytes(bad),
+        epoch=0,
+    )
+    stats = FecStats()
+    rx = FecReassembler(stats=stats)
+    # members 0 and 2 arrive; member 1 is erased
+    rx.on_data(1, 100, 0, members[0])
+    rx.on_data(1, 102, 0, members[2])
+    out = rx.on_parity(pkt)
+    assert out == []
+    assert stats.repaired == 0
+    assert stats.unrepairable > 0  # accounted, not silently dropped
+
+
+# -- FecPacket wire format ---------------------------------------------------
+
+
+def test_fec_packet_round_trip():
+    members = [b"abc", b"defg", b"h"]
+    rows = encode_group(members, 2)
+    for j, payload in enumerate(rows):
+        pkt = FecPacket(
+            channel_id=7,
+            base_seq=2**32 - 2,
+            k=3,
+            r=2,
+            parity_index=j,
+            stride=2,
+            member_sizes=(3, 4, 1),
+            member_crcs=tuple(zlib.crc32(m) for m in members),
+            payload=payload,
+            epoch=5,
+        )
+        back = parse_packet(pkt.encode())
+        assert back == pkt
+        # members wrap the seq space: base, base+2, base+4 mod 2^32
+        assert back.member_seqs() == (2**32 - 2, 0, 2)
+
+
+# -- encoder state machine ---------------------------------------------------
+
+
+def _collect_encoder(k=3, r=1, interleave=1, flush_timeout=None):
+    sim = Simulator()
+    out = []
+    enc = FecEncoder(sim, out.append, k=k, r=r, interleave=interleave,
+                     flush_timeout=flush_timeout)
+    return sim, out, enc
+
+
+def test_encoder_emits_after_k_members():
+    sim, out, enc = _collect_encoder(k=3, r=2)
+    for i in range(3):
+        enc.on_data(1, 100 + i, 0, b"m%d" % i)
+    assert len(out) == 2
+    pkts = [parse_packet(w) for w in out]
+    assert [p.parity_index for p in pkts] == [0, 1]
+    assert all(p.base_seq == 100 and p.k == 3 and p.stride == 1
+               for p in pkts)
+
+
+def test_encoder_interleave_spreads_consecutive_seqs():
+    sim, out, enc = _collect_encoder(k=2, r=1, interleave=2)
+    for i in range(4):
+        enc.on_data(1, 200 + i, 0, b"x%d" % i)
+    # lane 0 holds seqs 200, 202; lane 1 holds 201, 203
+    pkts = sorted((parse_packet(w) for w in out), key=lambda p: p.base_seq)
+    assert [p.base_seq for p in pkts] == [200, 201]
+    assert [p.member_seqs() for p in pkts] == [(200, 202), (201, 203)]
+
+
+def test_encoder_epoch_change_flushes_partial_group():
+    sim, out, enc = _collect_encoder(k=4, r=1)
+    enc.on_data(1, 10, 0, b"a")
+    enc.on_data(1, 11, 0, b"b")
+    enc.on_data(1, 0, 1, b"c")  # epoch step: restart from seq 0
+    assert len(out) == 1
+    pkt = parse_packet(out[0])
+    assert pkt.k == 2 and pkt.base_seq == 10 and pkt.epoch == 0
+    assert enc.stats.flushed_groups == 1
+
+
+def test_encoder_seq_jump_reanchors():
+    sim, out, enc = _collect_encoder(k=4, r=1)
+    enc.on_data(1, 10, 0, b"a")
+    enc.on_data(1, 50, 0, b"b")  # upstream skipped: group can't be arithmetic
+    assert len(out) == 1
+    assert parse_packet(out[0]).member_seqs() == (10,)
+
+
+def test_encoder_timer_flushes_stalled_group():
+    sim, out, enc = _collect_encoder(k=4, r=1, flush_timeout=0.25)
+    enc.on_data(1, 10, 0, b"a")
+    sim.run(until=1.0)
+    assert len(out) == 1
+    assert parse_packet(out[0]).k == 1
+    # timer must not double-fire after the flush
+    sim.run(until=2.0)
+    assert len(out) == 1
+
+
+def test_encoder_reset_drops_open_groups():
+    sim, out, enc = _collect_encoder(k=4, r=1)
+    enc.on_data(1, 10, 0, b"a")
+    enc.reset()
+    enc.on_data(1, 20, 0, b"b")
+    enc.flush()
+    assert len(out) == 1
+    assert parse_packet(out[0]).member_seqs() == (20,)
+
+
+# -- reassembler state machine -----------------------------------------------
+
+
+def _feed_group(rx, members, base=100, channel=1, epoch=0, skip=()):
+    for t, m in enumerate(members):
+        if t not in skip:
+            rx.on_data(channel, base + t, epoch, m)
+
+
+def test_reassembler_parity_after_loss_repairs():
+    members = [b"aaa", b"bbb", b"ccc"]
+    rx = FecReassembler()
+    _feed_group(rx, members, skip={1})
+    out = rx.on_parity(_one_parity_packet(members))
+    assert out == [members[1]]
+    assert rx.stats.repaired == 1
+
+
+def test_reassembler_late_data_completes_group():
+    """Parity arrives while two members are missing; the group stays
+    pending until one of them shows up as (reordered) data."""
+    members = [b"aaa", b"bbb", b"ccc"]
+    rx = FecReassembler()
+    _feed_group(rx, members, skip={1, 2})
+    assert rx.on_parity(_one_parity_packet(members)) == []
+    out = rx.on_data(1, 102, 0, members[2])
+    assert out == [members[1]]
+
+
+def test_reassembler_intact_group_counts_wasted_parity():
+    members = [b"aaa", b"bbb"]
+    rx = FecReassembler()
+    _feed_group(rx, members)
+    pkt = FecPacket(
+        channel_id=1, base_seq=100, k=2, r=1, parity_index=0, stride=1,
+        member_sizes=(3, 3),
+        member_crcs=tuple(zlib.crc32(m) for m in members),
+        payload=encode_group(members, 1)[0], epoch=0,
+    )
+    assert rx.on_parity(pkt) == []
+    assert rx.stats.repaired == 0
+    assert rx.stats.wasted == 1
+    # a duplicate for an already-closed group is also wasted
+    assert rx.on_parity(pkt) == []
+    assert rx.stats.wasted == 2
+
+
+def test_reassembler_drops_stale_epoch_parity():
+    members = [b"aaa", b"bbb", b"ccc"]
+    rx = FecReassembler()
+    rx.on_data(1, 500, 3, b"new-epoch")  # channel is on epoch 3
+    assert rx.on_parity(_one_parity_packet(members)) == []  # epoch 0
+    assert rx.stats.stale_parity == 1
+    assert rx.stats.repaired == 0
+
+
+def test_reassembler_epoch_step_flushes_pending():
+    """A newer epoch abandons pending groups with accounting (mirrors
+    the resequencer's epoch-boundary flush)."""
+    members = [b"aaa", b"bbb", b"ccc"]
+    rx = FecReassembler()
+    _feed_group(rx, members, skip={1, 2})  # two missing, one parity row:
+    rx.on_parity(_one_parity_packet(members))  # stays pending
+    rx.on_data(1, 0, 1, b"new-epoch")
+    assert rx.stats.unrepairable == 2  # both missing members written off
+    assert rx.stats.wasted >= 1  # the stranded parity row too
+    assert rx.stats.repaired == 0
+
+
+def test_reassembler_reset_forgets_everything():
+    members = [b"aaa", b"bbb", b"ccc"]
+    rx = FecReassembler()
+    _feed_group(rx, members, skip={1})
+    rx.reset()
+    # post-reset the channel has no epoch, so old parity is stale
+    assert rx.on_parity(_one_parity_packet(members)) == []
+    assert rx.stats.stale_parity == 1

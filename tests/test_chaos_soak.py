@@ -521,6 +521,140 @@ def test_control_plane_churn_scenario(mode, seed):
     })
 
 
+# -- the WAN recovery ladder under the same chaos -------------------------------
+#
+# FEC on a hostile hop must degrade, never stall: GE bursts at or below
+# repair capacity leave *zero* holes in the leaf's played stream (and,
+# FEC-only, zero reverse traffic); bursts above capacity leave holes
+# bounded by the abandon deadline and the burst geometry; corruption on
+# the parity path is rejected at the parser and can never poison a
+# repair; a relay crash mid-FEC-group restarts with an empty reassembler
+# and a hole bounded by the restart window.  Every scenario closes the
+# ledger and fingerprints bit-identically across two same-seed runs.
+
+FEC_BLOCK = 0.065   # one VAD block of stream time per data frame
+FEC_CFG = {
+    # GE bursts the (r=2, interleave=2) geometry fully absorbs
+    "below": dict(loss_rate=0.04, burst_length=2.0, fec_r=2,
+                  fec_interleave=2),
+    # bursts far beyond r=1: unrepairable groups become bounded holes
+    "above": dict(loss_rate=0.30, burst_length=5.0, fec_r=1,
+                  fec_interleave=1),
+    # heavy corruption on the same wire the parity rides
+    "parity-corrupt": dict(loss_rate=0.04, burst_length=2.0,
+                           corrupt_rate=0.10, fec_r=2, fec_interleave=2),
+}
+
+#: largest admissible gap between consecutive played stream positions
+#: (one block = contiguous playback)
+FEC_GAP_BOUND = {
+    "below": FEC_BLOCK + 0.01,           # no holes at all
+    "above": 16 * FEC_BLOCK,             # longest credible abandoned run
+    "parity-corrupt": 4 * FEC_BLOCK,     # lone corrupt-and-unlucky frames
+    "relay-crash": RELAY_RESTART + 2 * JITTER + 2 * CONTROL_IVL
+                   + PLAYOUT + 0.25,
+}
+
+FEC_SCENARIOS = [
+    ("below", "fec"),
+    ("below", "fec+nack"),
+    ("above", "fec"),
+    ("above", "fec+nack"),
+    ("parity-corrupt", "fec"),
+    ("relay-crash", "fec"),
+]
+FEC_SEEDS = (1, 2)
+
+
+def run_fec_scenario(kind, recovery, seed):
+    cfg = dict(FEC_CFG.get(kind, FEC_CFG["below"]))
+    fec_r = cfg.pop("fec_r")
+    fec_interleave = cfg.pop("fec_interleave")
+    system = EthernetSpeakerSystem(seed=seed)
+    producer = system.add_producer()
+    channel = system.add_channel("soak", params=LOW, compress="never")
+    rb = system.add_rebroadcaster(
+        producer, channel, control_interval=CONTROL_IVL
+    )
+    regional = system.add_relay(
+        rb, name="regional", latency=0.03, recovery=recovery,
+        fec_k=4, fec_r=fec_r, fec_interleave=fec_interleave,
+        wan_faults=dict(seed=seed + 40, **cfg),
+    )
+    edge = system.add_relay(regional, name="edge", latency=0.01)
+    leaf = system.add_leaf_lan(edge, channel, name="leaf")
+    spk = system.add_speaker(channel=channel, lan=leaf)
+    system.play_synthetic(producer, RELAY_DURATION, LOW)
+    if kind == "relay-crash":
+        system.schedule_fault(regional, after=RELAY_CRASH_AT, kind="crash",
+                              restart_after=RELAY_RESTART, seed=seed,
+                              jitter=JITTER)
+    system.run(until=RELAY_HORIZON)
+    return system, regional, spk
+
+
+@pytest.mark.parametrize("kind,recovery", FEC_SCENARIOS)
+@pytest.mark.parametrize("seed", FEC_SEEDS)
+def test_fec_ladder_scenario(kind, recovery, seed):
+    system, regional, spk = run_fec_scenario(kind, recovery, seed)
+    hop = system.wan_hops[0]
+    inj = hop.link.faults.stats
+    assert inj.lost > 0, "injector idle; scenario is vacuous"
+    # playback runs to (nearly) the end of the stream — degradation
+    # under fire, never a stall
+    assert spk.stats.play_log, "leaf never played"
+    assert spk.stats.play_log[-1][1] > 12.5
+    bound = FEC_GAP_BOUND[kind]
+    worst = max(_stream_holes(spk.stats), default=0.0)
+    assert worst <= bound, f"hole {worst:.3f}s exceeds bound {bound:.3f}s"
+    if kind == "below":
+        # within capacity every loss repairs: no holes, and (FEC-only)
+        # the reverse path stays silent
+        assert hop.fec.repaired > 0
+        assert hop.stats.abandoned == 0
+        if recovery == "fec":
+            assert hop.stats.nacks_sent == 0
+            assert hop.link.retransmits == 0
+    elif kind == "above":
+        assert hop.stats.abandoned > 0      # holes exist and were bounded
+        assert hop.fec.repaired > 0         # the repairable part repaired
+    elif kind == "parity-corrupt":
+        assert inj.corrupted > 0
+        assert hop.stats.corrupt_dropped > 0  # parser rejected, counted
+        assert hop.fec.repaired > 0           # intact parity still repairs
+    elif kind == "relay-crash":
+        assert regional.stats.restarts == 1
+        assert hop.fec.repaired > 0
+    report = system.pipeline_report()
+    assert report.conservation_ok, (
+        f"ledger open: residual={report.conservation_residual}"
+    )
+    _report_rows.append({
+        "mode": f"fec-ladder/{kind}/{recovery}", "wire_faults": True,
+        "seed": seed,
+        "rejoin_gaps": [round(g, 6) for g in spk.stats.rejoin_gaps],
+        "max_gap": round(worst, 6),
+        "bound": round(bound, 6),
+        "takeovers": 0,
+        "conservation_residual": report.conservation_residual,
+    })
+
+
+@pytest.mark.parametrize("kind,recovery", FEC_SCENARIOS)
+def test_fec_ladder_is_deterministic(kind, recovery):
+    def fingerprint():
+        system, regional, spk = run_fec_scenario(kind, recovery, 2)
+        hop = system.wan_hops[0]
+        return (
+            tuple(spk.stats.play_log),
+            hop.fec.repaired, hop.fec.unrepairable, hop.fec.parity_sent,
+            hop.stats.abandoned, hop.stats.nacks_sent,
+            hop.link.faults.stats.lost, hop.link.faults.stats.corrupted,
+        )
+
+    assert fingerprint() == fingerprint()
+
+
 def teardown_module(module):
     path = os.environ.get("CHAOS_SOAK_REPORT")
     if path and _report_rows:
